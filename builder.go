@@ -1,0 +1,465 @@
+package impeller
+
+import (
+	"fmt"
+	"time"
+
+	"impeller/internal/core"
+)
+
+// Topology builds a stream query as a DAG of stages, Kafka Streams
+// style: stateless operators fuse into their stage; GroupBy and joins
+// introduce repartition boundaries where data flows through the shared
+// log (paper §2.1).
+type Topology struct {
+	name    string
+	stages  []*stageBuild
+	sources map[StreamID]bool
+	// sinkPartitions records streams routed with To/ToPartitioned.
+	sinkPartitions map[StreamID]int
+	pipeSeq        int
+	err            error
+}
+
+type stageBuild struct {
+	name        string
+	parallelism int // 0 = cluster default
+	inputs      []StreamID
+	ops         []func() core.Processor
+	stateful    bool
+	sealed      bool
+	numPorts    int
+	// portStream[i] is the stream assigned to output port i ("" until a
+	// consumer or To names it).
+	portStream []StreamID
+	// broadcast[i] sends port i's records to every substream.
+	broadcast []bool
+}
+
+// NewTopology starts a topology named name.
+func NewTopology(name string) *Topology {
+	return &Topology{
+		name:           name,
+		sources:        make(map[StreamID]bool),
+		sinkPartitions: make(map[StreamID]int),
+	}
+}
+
+func (t *Topology) fail(format string, args ...any) {
+	if t.err == nil {
+		t.err = fmt.Errorf("impeller: topology %s: %s", t.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Stream declares a source stream fed by the cluster ingress.
+func (t *Topology) Stream(name StreamID) *Stream {
+	t.sources[name] = true
+	return &Stream{t: t, src: name}
+}
+
+// Stream is a handle onto a position in the dataflow: either a live
+// operator chain under construction, or a materialized stream.
+type Stream struct {
+	t *Topology
+	// src names a materialized stream when stage is nil.
+	src StreamID
+	// stage/port reference a live chain position.
+	stage       *stageBuild
+	port        int
+	parallelism int // hint for the next stage created from this handle
+	keyed       bool
+}
+
+// Parallelism sets the task count for the stage this handle's next
+// stateful (or newly created) stage will use.
+func (s *Stream) Parallelism(n int) *Stream {
+	if s.stage != nil && !s.stage.sealed {
+		s.stage.parallelism = n
+	}
+	s.parallelism = n
+	return s
+}
+
+// materialize seals the handle's stage (if any) and returns the stream
+// name carrying its records.
+func (s *Stream) materialize() StreamID {
+	if s.stage == nil {
+		return s.src
+	}
+	st := s.stage
+	if st.portStream[s.port] == "" {
+		s.t.pipeSeq++
+		st.portStream[s.port] = StreamID(fmt.Sprintf("%s.pipe%d", s.t.name, s.t.pipeSeq))
+	}
+	st.sealed = true
+	return st.portStream[s.port]
+}
+
+// extend fuses op into the live chain, or starts a new stage reading
+// this handle's materialized stream.
+func (s *Stream) extend(op func() core.Processor) *Stream {
+	if s.stage != nil && !s.stage.sealed && s.port == 0 && s.stage.numPorts == 1 {
+		s.stage.ops = append(s.stage.ops, op)
+		return s
+	}
+	src := s.materialize()
+	st := s.t.newStage([]StreamID{src}, s.parallelism)
+	st.ops = append(st.ops, op)
+	return &Stream{t: s.t, stage: st, parallelism: s.parallelism, keyed: s.keyed}
+}
+
+func (t *Topology) newStage(inputs []StreamID, parallelism int) *stageBuild {
+	st := &stageBuild{
+		name:        fmt.Sprintf("%s/s%d", t.name, len(t.stages)),
+		parallelism: parallelism,
+		inputs:      inputs,
+		numPorts:    1,
+		portStream:  make([]StreamID, 1),
+		broadcast:   make([]bool, 1),
+	}
+	t.stages = append(t.stages, st)
+	return st
+}
+
+// Map transforms records; returning nil drops the record.
+func (s *Stream) Map(fn func(Datum) *Datum) *Stream {
+	return s.extend(func() core.Processor { return core.Map(fn) })
+}
+
+// Filter keeps records satisfying pred.
+func (s *Stream) Filter(pred func(Datum) bool) *Stream {
+	return s.extend(func() core.Processor { return core.Filter(pred) })
+}
+
+// FlatMap expands each record into zero or more.
+func (s *Stream) FlatMap(fn func(Datum) []Datum) *Stream {
+	return s.extend(func() core.Processor { return core.FlatMap(fn) })
+}
+
+// MapValues transforms values, keeping keys.
+func (s *Stream) MapValues(fn func(key, value []byte) []byte) *Stream {
+	return s.extend(func() core.Processor { return core.MapValues(fn) })
+}
+
+// Peek observes records without altering the stream.
+func (s *Stream) Peek(fn func(Datum)) *Stream {
+	return s.extend(func() core.Processor { return core.Peek(fn) })
+}
+
+// SelectKey re-keys records without repartitioning; use GroupBy to also
+// repartition.
+func (s *Stream) SelectKey(fn func(Datum) []byte) *Stream {
+	out := s.extend(func() core.Processor { return core.SelectKey(fn) })
+	out.keyed = false
+	return out
+}
+
+// Branch splits the stream into len(preds) output streams by the first
+// matching predicate; unmatched records are dropped. Branch seals the
+// stage (its ports become the stage's outputs).
+func (s *Stream) Branch(preds ...func(Datum) bool) []*Stream {
+	if len(preds) == 0 {
+		s.t.fail("Branch needs at least one predicate")
+		return nil
+	}
+	h := s.extend(func() core.Processor { return core.Branch(preds...) })
+	st := h.stage
+	st.numPorts = len(preds)
+	st.portStream = make([]StreamID, len(preds))
+	st.broadcast = make([]bool, len(preds))
+	st.sealed = true
+	out := make([]*Stream, len(preds))
+	for i := range out {
+		out[i] = &Stream{t: s.t, stage: st, port: i, parallelism: s.parallelism}
+	}
+	return out
+}
+
+// GroupBy re-keys the stream and repartitions it so all records with
+// the same key reach the same task — the stage boundary of the paper's
+// word-count example (§2.1).
+func (s *Stream) GroupBy(fn func(Datum) []byte) *Grouped {
+	h := s.extend(func() core.Processor { return core.SelectKey(fn) })
+	name := h.materialize()
+	return &Grouped{t: s.t, stream: name, parallelism: h.parallelism}
+}
+
+// GroupByKey repartitions by the existing key.
+func (s *Stream) GroupByKey() *Grouped {
+	name := s.materialize()
+	return &Grouped{t: s.t, stream: name, parallelism: s.parallelism}
+}
+
+// Broadcast marks this handle's materialized stream for broadcast
+// delivery: every downstream task receives every record (used for small
+// dimension tables).
+func (s *Stream) Broadcast() *Stream {
+	if s.stage == nil {
+		s.t.fail("Broadcast requires a produced stream, not a source")
+		return s
+	}
+	s.stage.broadcast[s.port] = true
+	return s
+}
+
+// To routes the stream to a named output stream with one partition.
+func (s *Stream) To(name StreamID) { s.ToPartitioned(name, 1) }
+
+// ToPartitioned routes to a named output stream with the given
+// partition count.
+func (s *Stream) ToPartitioned(name StreamID, partitions int) {
+	if s.stage == nil {
+		s.t.fail("cannot route source stream %s with To; add an operator first", s.src)
+		return
+	}
+	if s.stage.portStream[s.port] != "" && s.stage.portStream[s.port] != name {
+		s.t.fail("port already routed to %s", s.stage.portStream[s.port])
+		return
+	}
+	s.stage.portStream[s.port] = name
+	s.stage.sealed = true
+	s.t.sinkPartitions[name] = partitions
+}
+
+// Grouped is a repartitioned stream: all records with equal keys flow
+// to the same downstream task, enabling stateful processing.
+type Grouped struct {
+	t           *Topology
+	stream      StreamID
+	parallelism int
+}
+
+// Parallelism sets the task count of the stage consuming this grouping.
+func (g *Grouped) Parallelism(n int) *Grouped {
+	g.parallelism = n
+	return g
+}
+
+func (g *Grouped) statefulStage(inputs []StreamID, op func() core.Processor) *Stream {
+	st := g.t.newStage(inputs, g.parallelism)
+	st.ops = append(st.ops, op)
+	st.stateful = true
+	return &Stream{t: g.t, stage: st, parallelism: g.parallelism, keyed: true}
+}
+
+// Apply runs a custom processor as its own stage over this grouping —
+// the Processor-API escape hatch for logic the DSL does not cover.
+// stateful stages get change-logged (or snapshotted) state.
+func (g *Grouped) Apply(stateful bool, mk func() Processor) *Stream {
+	out := g.statefulStage([]StreamID{g.stream}, mk)
+	out.stage.stateful = stateful
+	return out
+}
+
+// ApplyWith runs a custom two-input processor: this grouping arrives on
+// port 0, the other on port 1. Both inputs are consumed at this
+// grouping's parallelism.
+func (g *Grouped) ApplyWith(other *Grouped, stateful bool, mk func() Processor) *Stream {
+	out := g.statefulStage([]StreamID{g.stream, other.stream}, mk)
+	out.stage.stateful = stateful
+	return out
+}
+
+// Count counts records per key.
+func (g *Grouped) Count(name string) *Stream {
+	return g.statefulStage([]StreamID{g.stream}, func() core.Processor { return core.Count(name) })
+}
+
+// Aggregate folds records per key.
+func (g *Grouped) Aggregate(name string, agg Aggregator) *Stream {
+	return g.statefulStage([]StreamID{g.stream}, func() core.Processor { return core.StreamAggregate(name, agg) })
+}
+
+// Reduce folds records per key where the accumulator has the value's
+// type.
+func (g *Grouped) Reduce(name string, fn func(key, value, acc []byte) []byte) *Stream {
+	return g.statefulStage([]StreamID{g.stream}, func() core.Processor { return core.Reduce(name, fn) })
+}
+
+// WindowAggregate aggregates per (window, key); emitted records are
+// keyed with WindowKey.
+func (g *Grouped) WindowAggregate(name string, spec WindowSpec, mode WindowEmit, agg Aggregator) *Stream {
+	return g.statefulStage([]StreamID{g.stream}, func() core.Processor {
+		return core.WindowAggregate(name, spec, mode, agg)
+	})
+}
+
+// TableAggregate aggregates a changelog stream (table semantics)
+// grouped by the record key, retracting each row's previous
+// contribution; rowKey extracts a row's identity from the update.
+func (g *Grouped) TableAggregate(name string, rowKey func(Datum) []byte, agg TableAggregator) *Stream {
+	return g.statefulStage([]StreamID{g.stream}, func() core.Processor {
+		return core.TableAggregate(name, rowKey, agg)
+	})
+}
+
+// JoinStream windowed-inner-joins two co-grouped streams (this side is
+// left/port 0).
+func (g *Grouped) JoinStream(other *Grouped, name string, window time.Duration, joiner Joiner) *Stream {
+	out := g.statefulStage([]StreamID{g.stream, other.stream}, func() core.Processor {
+		return core.StreamStreamJoin(name, window, joiner)
+	})
+	return out
+}
+
+// JoinTable inner-joins this stream (port 0) against a table
+// materialized from the other grouping's updates (port 1).
+func (g *Grouped) JoinTable(table *Grouped, name string, joiner Joiner) *Stream {
+	return g.statefulStage([]StreamID{g.stream, table.stream}, func() core.Processor {
+		return core.StreamTableJoin(name, joiner)
+	})
+}
+
+// JoinTableTable inner-joins two tables, emitting on either side's
+// update (NEXMark Q3).
+func (g *Grouped) JoinTableTable(other *Grouped, name string, joiner Joiner) *Stream {
+	return g.statefulStage([]StreamID{g.stream, other.stream}, func() core.Processor {
+		return core.TableTableJoin(name, joiner)
+	})
+}
+
+// LeftJoinStream windowed-left-joins two co-grouped streams: matched
+// pairs emit immediately; left records expiring unmatched emit once
+// with a nil right value.
+func (g *Grouped) LeftJoinStream(other *Grouped, name string, window time.Duration, joiner Joiner) *Stream {
+	return g.statefulStage([]StreamID{g.stream, other.stream}, func() core.Processor {
+		return core.StreamStreamLeftJoin(name, window, joiner)
+	})
+}
+
+// LeftJoinTable left-joins this stream against a materialized table;
+// stream records without a row join with a nil right value.
+func (g *Grouped) LeftJoinTable(table *Grouped, name string, joiner Joiner) *Stream {
+	return g.statefulStage([]StreamID{g.stream, table.stream}, func() core.Processor {
+		return core.StreamTableLeftJoin(name, joiner)
+	})
+}
+
+// LeftJoinTableTable left-joins two tables: output follows the left
+// row, with a nil right value when the right side is absent.
+func (g *Grouped) LeftJoinTableTable(other *Grouped, name string, joiner Joiner) *Stream {
+	return g.statefulStage([]StreamID{g.stream, other.stream}, func() core.Processor {
+		return core.TableTableLeftJoin(name, joiner)
+	})
+}
+
+// SessionAggregate aggregates per-key activity sessions separated by at
+// least gap of event-time inactivity; merge combines accumulators of
+// sessions bridged by a late record.
+func (g *Grouped) SessionAggregate(name string, gap time.Duration, mode WindowEmit, agg Aggregator, merge SessionMerger) *Stream {
+	return g.statefulStage([]StreamID{g.stream}, func() core.Processor {
+		return core.SessionAggregate(name, gap, mode, agg, merge)
+	})
+}
+
+// Merge unions this grouped stream with another co-grouped stream
+// (paper §3.2 lists union alongside join as a multi-input operator).
+func (g *Grouped) Merge(other *Grouped) *Stream {
+	st := g.t.newStage([]StreamID{g.stream, other.stream}, g.parallelism)
+	st.ops = append(st.ops, func() core.Processor { return core.Merge() })
+	return &Stream{t: g.t, stage: st, parallelism: g.parallelism, keyed: true}
+}
+
+// Through materializes the grouped stream and returns a consumable
+// handle (rarely needed; mainly for tests).
+func (g *Grouped) Through() *Stream {
+	return &Stream{t: g.t, src: g.stream, keyed: true, parallelism: g.parallelism}
+}
+
+// build compiles the topology into a core.Query.
+func (t *Topology) build(defaultParallelism, ingressWriters int) (*core.Query, error) {
+	if t.err != nil {
+		return nil, t.err
+	}
+	if len(t.stages) == 0 {
+		return nil, fmt.Errorf("impeller: topology %s has no stages", t.name)
+	}
+	// Resolve parallelism and index producers/consumers per stream.
+	producers := make(map[StreamID]*stageBuild)
+	for _, st := range t.stages {
+		if st.parallelism <= 0 {
+			st.parallelism = defaultParallelism
+		}
+		for i, ps := range st.portStream {
+			if ps == "" {
+				t.pipeSeq++
+				ps = StreamID(fmt.Sprintf("%s.unused%d", t.name, t.pipeSeq))
+				st.portStream[i] = ps
+				t.sinkPartitions[ps] = 1
+			}
+			if other, dup := producers[ps]; dup {
+				return nil, fmt.Errorf("impeller: stream %s produced by both %s and %s", ps, other.name, st.name)
+			}
+			producers[ps] = st
+		}
+	}
+	consumers := make(map[StreamID][]*stageBuild)
+	for _, st := range t.stages {
+		for _, in := range st.inputs {
+			consumers[in] = append(consumers[in], st)
+		}
+	}
+	// Every consumed stream must be a source or produced by a stage.
+	for stream := range consumers {
+		if !t.sources[stream] && producers[stream] == nil {
+			return nil, fmt.Errorf("impeller: stream %s consumed but never produced", stream)
+		}
+	}
+
+	q := &core.Query{Name: t.name}
+	for _, st := range t.stages {
+		stage := &core.Stage{
+			Name:        st.name,
+			Parallelism: st.parallelism,
+			Inputs:      st.inputs,
+			Stateful:    st.stateful,
+		}
+		ops := st.ops
+		stage.NewProcessor = func() core.Processor {
+			procs := make([]core.Processor, len(ops))
+			for i, mk := range ops {
+				procs[i] = mk()
+			}
+			return core.Chain(procs...)
+		}
+		for p, ps := range st.portStream {
+			partitions := 0
+			if cs := consumers[ps]; len(cs) > 0 {
+				partitions = cs[0].parallelism
+				for _, c := range cs[1:] {
+					if c.parallelism != partitions {
+						return nil, fmt.Errorf("impeller: stream %s consumed at parallelism %d and %d", ps, partitions, c.parallelism)
+					}
+				}
+			} else if sp, ok := t.sinkPartitions[ps]; ok {
+				partitions = sp
+			} else {
+				partitions = 1
+			}
+			stage.Outputs = append(stage.Outputs, core.OutputSpec{
+				Stream:     ps,
+				Partitions: partitions,
+				Broadcast:  st.broadcast[p],
+			})
+		}
+		for _, in := range st.inputs {
+			if t.sources[in] {
+				stage.UpstreamProducers = append(stage.UpstreamProducers, ingressWriters)
+			} else if p := producers[in]; p != nil {
+				stage.UpstreamProducers = append(stage.UpstreamProducers, p.parallelism)
+			} else {
+				stage.UpstreamProducers = append(stage.UpstreamProducers, 0)
+			}
+		}
+		q.Stages = append(q.Stages, stage)
+	}
+	return q, q.Validate()
+}
+
+// SinkPartitions reports the partition count of a To-routed stream.
+func (t *Topology) SinkPartitions(name StreamID) int {
+	if p, ok := t.sinkPartitions[name]; ok {
+		return p
+	}
+	return 1
+}

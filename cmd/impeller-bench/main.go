@@ -1,0 +1,205 @@
+// Command impeller-bench regenerates the paper's evaluation tables and
+// figures (§5) against the in-process Impeller cluster:
+//
+//	impeller-bench -exp table2                 # log latency, Boki vs Kafka
+//	impeller-bench -exp fig7 -query 5          # latency vs throughput sweep
+//	impeller-bench -exp fig7                   # ... for all eight queries
+//	impeller-bench -exp fig8 -query 4          # commit-interval sweep
+//	impeller-bench -exp fig9                   # Q5 cost of exactly-once
+//	impeller-bench -exp table4                 # failure recovery
+//	impeller-bench -exp crossover -duration 20s  # checkpointing vs state growth
+//
+// Absolute numbers depend on the host and the latency calibration; the
+// shapes (who wins, where curves cross) are the reproduction target.
+// See EXPERIMENTS.md for recorded runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"impeller/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment: table2 | fig7 | fig8 | fig9 | table4 | crossover")
+		query    = flag.Int("query", 0, "NEXMark query (fig7/fig8); 0 = all")
+		rates    = flag.String("rates", "", "comma-separated event rates (events/s)")
+		duration = flag.Duration("duration", 3*time.Second, "measurement duration per point")
+		simulate = flag.Bool("simulate", true, "charge calibrated network/storage latencies")
+		scale    = flag.Float64("scale", 1.0, "scale factor on simulated latencies")
+		verbose  = flag.Bool("v", false, "print every point as it completes")
+		csvPath  = flag.String("csv", "", "also write machine-readable results to this CSV file")
+	)
+	flag.Parse()
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "impeller-bench:", err)
+			os.Exit(1)
+		}
+		csvOut = f
+		defer f.Close()
+	}
+
+	progress := func() *os.File {
+		if *verbose {
+			return os.Stderr
+		}
+		return nil
+	}
+
+	var err error
+	switch *exp {
+	case "table2":
+		err = runTable2(parseRates(*rates), *duration)
+	case "fig7":
+		err = runFig7(*query, parseRates(*rates), *duration, *simulate, *scale, progress())
+	case "fig8":
+		err = runFig8(*query, *duration, *simulate, *scale, progress())
+	case "fig9":
+		err = runFig9(parseRates(*rates), *duration, *simulate, *scale, progress())
+	case "table4":
+		err = runTable4(parseRates(*rates), *simulate, *scale, progress())
+	case "crossover":
+		err = runCrossover(*query, *duration, *simulate, *scale, progress())
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "impeller-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// csvOut, when non-nil, receives machine-readable results.
+var csvOut *os.File
+
+func parseRates(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "impeller-bench: bad rate %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func runTable2(rates []int, duration time.Duration) error {
+	rows, err := bench.RunTable2(bench.Table2Config{Rates: rates, Duration: duration})
+	if err != nil {
+		return err
+	}
+	bench.PrintTable2(os.Stdout, rows)
+	if csvOut != nil {
+		return bench.WriteTable2CSV(csvOut, rows)
+	}
+	return nil
+}
+
+func runFig7(query int, rates []int, duration time.Duration, simulate bool, scale float64, progress *os.File) error {
+	queries := []int{query}
+	if query == 0 {
+		queries = []int{1, 2, 3, 4, 5, 6, 7, 8}
+	}
+	for _, q := range queries {
+		series, err := bench.RunFig7(bench.Fig7Config{
+			Query:    q,
+			Rates:    rates,
+			Duration: duration,
+			Simulate: simulate,
+			Scale:    scale,
+		}, progress)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig7(os.Stdout, series)
+		if csvOut != nil {
+			if err := bench.WriteFig7CSV(csvOut, series); err != nil {
+				return err
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runFig8(query int, duration time.Duration, simulate bool, scale float64, progress *os.File) error {
+	queries := []int{query}
+	if query == 0 {
+		queries = []int{1, 2, 3, 4, 5, 6, 7, 8}
+	}
+	for _, q := range queries {
+		points, err := bench.RunFig8(bench.Fig8Config{
+			Query:    q,
+			Duration: duration,
+			Simulate: simulate,
+			Scale:    scale,
+		}, progress)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig8(os.Stdout, q, points)
+		if csvOut != nil {
+			if err := bench.WriteFig8CSV(csvOut, q, points); err != nil {
+				return err
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runFig9(rates []int, duration time.Duration, simulate bool, scale float64, progress *os.File) error {
+	series, err := bench.RunFig9(rates, duration, simulate, scale, progress)
+	if err != nil {
+		return err
+	}
+	bench.PrintFig9(os.Stdout, series)
+	if csvOut != nil {
+		return bench.WriteFig7CSV(csvOut, series)
+	}
+	return nil
+}
+
+func runCrossover(query int, duration time.Duration, simulate bool, scale float64, progress *os.File) error {
+	res, err := bench.RunCrossover(bench.CrossoverConfig{
+		Query:    query,
+		Duration: duration,
+		Simulate: simulate,
+		Scale:    scale,
+	}, progress)
+	if err != nil {
+		return err
+	}
+	bench.PrintCrossover(os.Stdout, res)
+	return nil
+}
+
+func runTable4(rates []int, simulate bool, scale float64, progress *os.File) error {
+	rows, err := bench.RunTable4(bench.Table4Config{
+		Rates:    rates,
+		Simulate: simulate,
+		Scale:    scale,
+	}, progress)
+	if err != nil {
+		return err
+	}
+	bench.PrintTable4(os.Stdout, rows)
+	if csvOut != nil {
+		return bench.WriteTable4CSV(csvOut, rows)
+	}
+	return nil
+}

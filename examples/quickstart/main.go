@@ -1,0 +1,96 @@
+// Quickstart: the paper's running example (Figure 1) — distributed word
+// count with exactly-once semantics on a shared log.
+//
+//	go run ./examples/quickstart
+//
+// Stage 1 tokenizes lines into words; the shared log repartitions them
+// so identical words reach the same counting task; stage 2 maintains
+// per-word counts whose every update is covered by a progress marker.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"impeller"
+)
+
+func main() {
+	// A small in-process cluster: 4 log shards, replication 3, the
+	// progress-marker protocol, 50 ms commit interval.
+	cluster := impeller.NewCluster(impeller.ClusterConfig{
+		Protocol:           impeller.ProgressMarker,
+		CommitInterval:     50 * time.Millisecond,
+		DefaultParallelism: 2,
+	})
+	defer cluster.Close()
+
+	// Build the query: lines -> words (repartitioned) -> counts.
+	topo := impeller.NewTopology("wordcount")
+	topo.Stream("lines").
+		FlatMap(func(d impeller.Datum) []impeller.Datum {
+			var out []impeller.Datum
+			for _, w := range strings.Fields(string(d.Value)) {
+				out = append(out, impeller.Datum{
+					Key:       []byte(strings.ToLower(w)),
+					Value:     []byte("1"),
+					EventTime: d.EventTime,
+				})
+			}
+			return out
+		}).
+		GroupByKey().
+		Count("counts").
+		To("counts-out")
+
+	app, err := cluster.Run(topo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer app.Stop()
+
+	// A gated sink delivers only committed results — what a correct
+	// downstream consumer would see.
+	var mu sync.Mutex
+	counts := make(map[string]uint64)
+	app.Sink("counts-out", true, func(r impeller.Record, _ impeller.TaskID, _ time.Time) {
+		mu.Lock()
+		counts[string(r.Key)] = binary.LittleEndian.Uint64(r.Value)
+		mu.Unlock()
+	})
+
+	lines := []string{
+		"the shared log is the stream",
+		"the stream is the log",
+		"progress markers commit the stream atomically",
+	}
+	for i, line := range lines {
+		if err := app.Send("lines", []byte(fmt.Sprint(i)), []byte(line), time.Now().UnixMicro()); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Wait for the pipeline to quiesce (a few commit intervals).
+	time.Sleep(500 * time.Millisecond)
+
+	mu.Lock()
+	words := make([]string, 0, len(counts))
+	for w := range counts {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	fmt.Println("word counts (exactly-once):")
+	for _, w := range words {
+		fmt.Printf("  %-12s %d\n", w, counts[w])
+	}
+	mu.Unlock()
+
+	m := app.Metrics()
+	fmt.Printf("\nengine: %d records processed, %d progress markers, %d log appends\n",
+		m.Processed, m.Markers, m.Appends)
+}

@@ -1,0 +1,3 @@
+module impeller
+
+go 1.22

@@ -1,0 +1,658 @@
+package impeller
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func runWordCount(t *testing.T, proto Protocol) {
+	t.Helper()
+	cluster := NewCluster(ClusterConfig{
+		Protocol:             proto,
+		CommitInterval:       25 * time.Millisecond,
+		DefaultParallelism:   2,
+		IngressWriters:       2,
+		IngressFlushInterval: 5 * time.Millisecond,
+	})
+	defer cluster.Close()
+
+	b := NewTopology("wc")
+	b.Stream("lines").
+		FlatMap(func(d Datum) []Datum {
+			var out []Datum
+			for _, w := range strings.Fields(string(d.Value)) {
+				out = append(out, Datum{Key: []byte(w), Value: []byte("1"), EventTime: d.EventTime})
+			}
+			return out
+		}).
+		GroupByKey().
+		Count("counts").
+		To("counts-out")
+
+	app, err := cluster.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	var mu sync.Mutex
+	got := make(map[string]uint64)
+	app.Sink("counts-out", true, func(r Record, _ TaskID, _ time.Time) {
+		mu.Lock()
+		got[string(r.Key)] = binary.LittleEndian.Uint64(r.Value)
+		mu.Unlock()
+	})
+
+	lines := []string{"a b c", "a b", "a", "c c c a"}
+	want := map[string]uint64{"a": 4, "b": 2, "c": 4}
+	for i, l := range lines {
+		if err := app.Send("lines", []byte(fmt.Sprint(i)), []byte(l), time.Now().UnixMicro()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		mu.Lock()
+		done := len(got) == len(want)
+		for k, v := range want {
+			if got[k] != v {
+				done = false
+			}
+		}
+		snap := fmt.Sprint(got)
+		mu.Unlock()
+		if done {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("counts never converged: got %s want %v", snap, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestDSLWordCountAllProtocols(t *testing.T) {
+	for _, proto := range []Protocol{ProgressMarker, KafkaTxn, AlignedCheckpoint, Unsafe} {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) { runWordCount(t, proto) })
+	}
+}
+
+func TestDSLBranchAndJoin(t *testing.T) {
+	cluster := NewCluster(ClusterConfig{
+		CommitInterval:       20 * time.Millisecond,
+		DefaultParallelism:   2,
+		IngressFlushInterval: 5 * time.Millisecond,
+	})
+	defer cluster.Close()
+
+	// Events are "L:<key>:<v>" or "R:<key>:<v>"; branch them and join
+	// the two sides by key within a window.
+	b := NewTopology("bj")
+	sides := b.Stream("events").Branch(
+		func(d Datum) bool { return d.Value[0] == 'L' },
+		func(d Datum) bool { return d.Value[0] == 'R' },
+	)
+	key := func(d Datum) []byte { return bytes.Split(d.Value, []byte(":"))[1] }
+	left := sides[0].GroupBy(key)
+	right := sides[1].GroupBy(key)
+	left.JoinStream(right, "join", time.Minute, func(k, l, r []byte) []byte {
+		return []byte(string(l) + "+" + string(r))
+	}).To("joined")
+
+	app, err := cluster.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	var mu sync.Mutex
+	var joined []string
+	app.Sink("joined", true, func(r Record, _ TaskID, _ time.Time) {
+		mu.Lock()
+		joined = append(joined, string(r.Value))
+		mu.Unlock()
+	})
+
+	now := time.Now().UnixMicro()
+	app.Send("events", []byte("1"), []byte("L:k1:x"), now)
+	app.Send("events", []byte("2"), []byte("R:k1:y"), now)
+	app.Send("events", []byte("3"), []byte("L:k2:z"), now)
+	// k2 has no right side: no join result.
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		mu.Lock()
+		n := len(joined)
+		var first string
+		if n > 0 {
+			first = joined[0]
+		}
+		mu.Unlock()
+		if n == 1 && first == "L:k1:x+R:k1:y" {
+			// Give it a moment to ensure no spurious extra joins.
+			time.Sleep(100 * time.Millisecond)
+			mu.Lock()
+			defer mu.Unlock()
+			if len(joined) != 1 {
+				t.Fatalf("extra joins: %v", joined)
+			}
+			return
+		}
+		if n > 1 {
+			t.Fatalf("unexpected joins: %v", joined)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("join never arrived (joined=%v)", joined)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestDSLWindowAggregate(t *testing.T) {
+	cluster := NewCluster(ClusterConfig{
+		CommitInterval:       20 * time.Millisecond,
+		IngressFlushInterval: 5 * time.Millisecond,
+	})
+	defer cluster.Close()
+
+	b := NewTopology("win")
+	b.Stream("in").
+		GroupByKey().
+		WindowAggregate("w", WindowSpec{Size: 10 * time.Second}, EmitFinal,
+			func(_, value, acc []byte) []byte {
+				n := uint64(0)
+				if len(acc) == 8 {
+					n = binary.LittleEndian.Uint64(acc)
+				}
+				return binary.LittleEndian.AppendUint64(nil, n+1)
+			}).
+		To("out")
+
+	app, err := cluster.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	type result struct {
+		start, end int64
+		count      uint64
+	}
+	var mu sync.Mutex
+	var results []result
+	app.Sink("out", true, func(r Record, _ TaskID, _ time.Time) {
+		s, e, _, err := SplitWindowKey(r.Key)
+		if err != nil {
+			t.Errorf("bad window key: %v", err)
+			return
+		}
+		mu.Lock()
+		results = append(results, result{s, e, binary.LittleEndian.Uint64(r.Value)})
+		mu.Unlock()
+	})
+
+	base := int64(1_000_000_000_000) // fixed event-time base
+	for i := 0; i < 5; i++ {
+		app.Send("in", []byte("k"), []byte("x"), base+int64(i)*time.Second.Microseconds())
+	}
+	// Advance event time past the window end to fire [base, base+10s).
+	app.Send("in", []byte("k"), []byte("x"), base+15*time.Second.Microseconds())
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		mu.Lock()
+		n := len(results)
+		var r0 result
+		if n > 0 {
+			r0 = results[0]
+		}
+		mu.Unlock()
+		if n >= 1 {
+			if r0.count != 5 {
+				t.Fatalf("window count = %d, want 5", r0.count)
+			}
+			wantStart := (base / (10 * time.Second.Microseconds())) * 10 * time.Second.Microseconds()
+			if r0.start != wantStart || r0.end != wantStart+10*time.Second.Microseconds() {
+				t.Fatalf("window bounds = [%d,%d)", r0.start, r0.end)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("window never fired")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestDSLFailureRecovery(t *testing.T) {
+	cluster := NewCluster(ClusterConfig{
+		Protocol:             ProgressMarker,
+		CommitInterval:       20 * time.Millisecond,
+		DefaultParallelism:   2,
+		IngressFlushInterval: 3 * time.Millisecond,
+	})
+	defer cluster.Close()
+
+	b := NewTopology("fr")
+	b.Stream("in").
+		Map(func(d Datum) *Datum { return &d }).
+		GroupByKey().
+		Count("c").
+		To("out")
+	app, err := cluster.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	var mu sync.Mutex
+	got := make(map[string]uint64)
+	app.Sink("out", true, func(r Record, _ TaskID, _ time.Time) {
+		mu.Lock()
+		got[string(r.Key)] = binary.LittleEndian.Uint64(r.Value)
+		mu.Unlock()
+	})
+
+	want := make(map[string]uint64)
+	for i := 0; i < 600; i++ {
+		k := fmt.Sprintf("k%d", i%10)
+		app.Send("in", []byte(k), []byte("x"), time.Now().UnixMicro())
+		want[k]++
+		if i == 200 {
+			if err := app.Manager().Kill("fr/s1/0"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i == 400 {
+			if err := app.Manager().Kill("fr/s1/1"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%100 == 0 {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		mu.Lock()
+		ok := len(got) == len(want)
+		for k, v := range want {
+			if got[k] != v {
+				ok = false
+			}
+		}
+		snap := fmt.Sprint(got)
+		mu.Unlock()
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("counts never converged after crashes: got %s want %v", snap, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestTopologyBuildErrors(t *testing.T) {
+	// Empty topology.
+	if _, err := NewTopology("e").build(1, 1); err == nil {
+		t.Fatal("empty topology built")
+	}
+	// Branch with no predicates.
+	b := NewTopology("b")
+	b.Stream("in").Branch()
+	if _, err := b.build(1, 1); err == nil {
+		t.Fatal("branch without predicates built")
+	}
+	// To on a raw source.
+	b2 := NewTopology("b2")
+	b2.Stream("in").To("out")
+	if _, err := b2.build(1, 1); err == nil {
+		t.Fatal("To on source built")
+	}
+	// Mismatched consumer parallelism on a shared stream.
+	b3 := NewTopology("b3")
+	s := b3.Stream("in").Map(func(d Datum) *Datum { return &d })
+	g := s.GroupByKey()
+	g.Parallelism(2).Count("a").To("o1")
+	h := g.Through()
+	h.Parallelism(3)
+	h.GroupByKey().Count("b").To("o2")
+	if _, err := b3.build(1, 1); err == nil {
+		t.Fatal("conflicting parallelism built")
+	}
+}
+
+func TestTopologyCompilation(t *testing.T) {
+	b := NewTopology("q")
+	streams := b.Stream("in").Branch(
+		func(d Datum) bool { return d.Value[0] == 'a' },
+		func(d Datum) bool { return true },
+	)
+	streams[0].GroupByKey().Count("c").To("out-a")
+	streams[1].Filter(func(d Datum) bool { return true }).To("out-b")
+	q, err := b.build(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect: branch stage, count stage, filter stage.
+	if len(q.Stages) != 3 {
+		t.Fatalf("stages = %d, want 3", len(q.Stages))
+	}
+	if !q.Stages[1].Stateful {
+		t.Fatal("count stage not stateful")
+	}
+	if q.Stages[0].Parallelism != 2 {
+		t.Fatalf("default parallelism not applied: %d", q.Stages[0].Parallelism)
+	}
+	// Branch stage has two outputs with consumer-resolved partitions.
+	if len(q.Stages[0].Outputs) != 2 {
+		t.Fatalf("branch outputs = %d", len(q.Stages[0].Outputs))
+	}
+	for _, o := range q.Stages[0].Outputs {
+		if o.Partitions != 2 {
+			t.Fatalf("branch output partitions = %d, want 2", o.Partitions)
+		}
+	}
+}
+
+func TestStatelessOpsFuseIntoOneStage(t *testing.T) {
+	b := NewTopology("fuse")
+	b.Stream("in").
+		Map(func(d Datum) *Datum { return &d }).
+		Filter(func(d Datum) bool { return true }).
+		MapValues(func(k, v []byte) []byte { return v }).
+		To("out")
+	q, err := b.build(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Stages) != 1 {
+		t.Fatalf("stateless chain compiled to %d stages, want 1", len(q.Stages))
+	}
+}
+
+func TestDSLMergeAndPeek(t *testing.T) {
+	cluster := NewCluster(ClusterConfig{
+		CommitInterval:       20 * time.Millisecond,
+		IngressFlushInterval: 4 * time.Millisecond,
+	})
+	defer cluster.Close()
+
+	var peeked atomic.Int64
+	b := NewTopology("mp")
+	evens := b.Stream("nums").
+		Peek(func(Datum) { peeked.Add(1) }).
+		Filter(func(d Datum) bool { return d.Value[0]%2 == 0 }).
+		GroupByKey()
+	odds := b.Stream("nums").
+		Filter(func(d Datum) bool { return d.Value[0]%2 == 1 }).
+		Map(func(d Datum) *Datum { d.Value = []byte{d.Value[0] + 100}; return &d }).
+		GroupByKey()
+	evens.Merge(odds).To("merged")
+
+	app, err := cluster.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	var mu sync.Mutex
+	var got []byte
+	app.Sink("merged", true, func(r Record, _ TaskID, _ time.Time) {
+		mu.Lock()
+		got = append(got, r.Value[0])
+		mu.Unlock()
+	})
+	for i := byte(0); i < 6; i++ {
+		if err := app.Send("nums", []byte{i}, []byte{i}, time.Now().UnixMicro()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		set := make(map[byte]bool, n)
+		for _, v := range got {
+			set[v] = true
+		}
+		mu.Unlock()
+		// Evens pass through (0,2,4); odds arrive +100 (101,103,105).
+		if n == 6 && set[0] && set[2] && set[4] && set[101] && set[103] && set[105] {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("merged output incomplete: %v", got)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if peeked.Load() == 0 {
+		t.Fatal("peek observed nothing")
+	}
+}
+
+func TestDSLLeftJoinTable(t *testing.T) {
+	cluster := NewCluster(ClusterConfig{
+		CommitInterval:       20 * time.Millisecond,
+		IngressFlushInterval: 4 * time.Millisecond,
+	})
+	defer cluster.Close()
+
+	b := NewTopology("lj")
+	orders := b.Stream("orders").GroupByKey()
+	customers := b.Stream("customers").GroupByKey()
+	orders.LeftJoinTable(customers, "enrich", func(k, order, customer []byte) []byte {
+		if customer == nil {
+			return append(append([]byte{}, order...), []byte("|unknown")...)
+		}
+		return append(append(append([]byte{}, order...), '|'), customer...)
+	}).To("enriched")
+
+	app, err := cluster.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	var mu sync.Mutex
+	var rows []string
+	app.Sink("enriched", true, func(r Record, _ TaskID, _ time.Time) {
+		mu.Lock()
+		rows = append(rows, string(r.Value))
+		mu.Unlock()
+	})
+
+	now := time.Now().UnixMicro()
+	app.Send("orders", []byte("c1"), []byte("o1"), now) // before customer row: unknown
+	time.Sleep(200 * time.Millisecond)
+	app.Send("customers", []byte("c1"), []byte("alice"), now)
+	time.Sleep(200 * time.Millisecond)
+	app.Send("orders", []byte("c1"), []byte("o2"), now)
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		mu.Lock()
+		var unknown, known bool
+		for _, r := range rows {
+			if r == "o1|unknown" {
+				unknown = true
+			}
+			if r == "o2|alice" {
+				known = true
+			}
+		}
+		mu.Unlock()
+		if unknown && known {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("left join rows = %v", rows)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestDSLSessionAggregate(t *testing.T) {
+	cluster := NewCluster(ClusterConfig{
+		CommitInterval:       20 * time.Millisecond,
+		IngressFlushInterval: 4 * time.Millisecond,
+	})
+	defer cluster.Close()
+
+	b := NewTopology("sess")
+	b.Stream("clicks").
+		GroupByKey().
+		SessionAggregate("s", 10*time.Second, EmitPerUpdate,
+			func(_, _, acc []byte) []byte {
+				n := uint64(0)
+				if len(acc) == 8 {
+					n = binary.LittleEndian.Uint64(acc)
+				}
+				return binary.LittleEndian.AppendUint64(nil, n+1)
+			},
+			func(_, a, bAcc []byte) []byte {
+				var x, y uint64
+				if len(a) == 8 {
+					x = binary.LittleEndian.Uint64(a)
+				}
+				if len(bAcc) == 8 {
+					y = binary.LittleEndian.Uint64(bAcc)
+				}
+				return binary.LittleEndian.AppendUint64(nil, x+y)
+			}).
+		To("sessions")
+
+	app, err := cluster.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	var mu sync.Mutex
+	best := uint64(0)
+	app.Sink("sessions", true, func(r Record, _ TaskID, _ time.Time) {
+		mu.Lock()
+		if v := binary.LittleEndian.Uint64(r.Value); v > best {
+			best = v
+		}
+		mu.Unlock()
+	})
+
+	base := int64(5_000_000_000_000_000)
+	for i := 0; i < 4; i++ { // one session: 4 clicks 2s apart
+		app.Send("clicks", []byte("user"), []byte("c"), base+int64(i)*2_000_000)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		mu.Lock()
+		b := best
+		mu.Unlock()
+		if b == 4 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session count = %d, want 4", b)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestDSLApplyCustomProcessor(t *testing.T) {
+	cluster := NewCluster(ClusterConfig{
+		CommitInterval:       20 * time.Millisecond,
+		IngressFlushInterval: 4 * time.Millisecond,
+	})
+	defer cluster.Close()
+
+	// Custom stateful processor through the Processor API: dedup by
+	// value, emitting each distinct value once.
+	b := NewTopology("apply")
+	b.Stream("in").
+		GroupByKey().
+		Apply(true, func() Processor { return &dedupProc{} }).
+		To("out")
+	app, err := cluster.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	var got atomic.Int64
+	app.Sink("out", true, func(Record, TaskID, time.Time) { got.Add(1) })
+	for _, v := range []string{"a", "b", "a", "c", "b", "a"} {
+		app.Send("in", []byte("k"), []byte(v), time.Now().UnixMicro())
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for got.Load() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("distinct = %d, want 3", got.Load())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(150 * time.Millisecond)
+	if got.Load() != 3 {
+		t.Fatalf("distinct = %d after settle, want 3", got.Load())
+	}
+}
+
+type dedupProc struct{ ctx ProcContext }
+
+func (p *dedupProc) Open(ctx ProcContext) error { p.ctx = ctx; return nil }
+func (p *dedupProc) Process(_ int, d Datum, emit EmitFunc) error {
+	key := "seen/" + string(d.Value)
+	if _, ok := p.ctx.Store().Get(key); ok {
+		return nil
+	}
+	p.ctx.Store().Put(key, []byte{1})
+	emit(0, d)
+	return nil
+}
+
+func TestDSLBroadcast(t *testing.T) {
+	cluster := NewCluster(ClusterConfig{
+		CommitInterval:       20 * time.Millisecond,
+		IngressFlushInterval: 4 * time.Millisecond,
+	})
+	defer cluster.Close()
+
+	// A broadcast pipe delivers every record to every downstream task:
+	// with parallelism 3 downstream, each input is counted 3 times.
+	b := NewTopology("bc")
+	pipe := b.Stream("in").Map(func(d Datum) *Datum { return &d }).Broadcast()
+	pipe.GroupByKey().Parallelism(3).
+		Apply(false, func() Processor {
+			return ProcessorFunc(func(_ int, d Datum, emit EmitFunc) error {
+				emit(0, d)
+				return nil
+			})
+		}).
+		To("out")
+	app, err := cluster.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	var got atomic.Int64
+	app.Sink("out", true, func(Record, TaskID, time.Time) { got.Add(1) })
+	for i := 0; i < 5; i++ {
+		app.Send("in", []byte{byte(i)}, []byte("x"), time.Now().UnixMicro())
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for got.Load() < 15 {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered = %d, want 15 (5 records x 3 tasks)", got.Load())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// CSV exports for the experiment runners, so sweeps can be plotted with
+// external tooling. One row per measured point; durations in
+// microseconds.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func us(d time.Duration) string {
+	return strconv.FormatInt(d.Microseconds(), 10)
+}
+
+// WriteTable2CSV exports Table 2 rows.
+func WriteTable2CSV(w io.Writer, rows []Table2Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			strconv.Itoa(r.Rate),
+			us(r.BokiP50), us(r.BokiP99),
+			us(r.KafkaP50), us(r.KafkaP99),
+			fmt.Sprintf("%.3f", r.SlowdownP50), fmt.Sprintf("%.3f", r.SlowdownP99),
+		})
+	}
+	return writeCSV(w,
+		[]string{"rate_aps", "boki_p50_us", "boki_p99_us", "kafka_p50_us", "kafka_p99_us", "slowdown_p50", "slowdown_p99"},
+		out)
+}
+
+// WriteFig7CSV exports latency-vs-throughput series (Figures 7 and 9).
+func WriteFig7CSV(w io.Writer, series []*Fig7Series) error {
+	var out [][]string
+	for _, s := range series {
+		for _, p := range s.Points {
+			out = append(out, []string{
+				strconv.Itoa(s.Query),
+				s.Protocol.String(),
+				strconv.Itoa(p.Config.Rate),
+				us(p.P50), us(p.P99), us(p.Mean),
+				strconv.FormatUint(p.Sent, 10),
+				strconv.FormatUint(p.Received, 10),
+			})
+		}
+	}
+	return writeCSV(w,
+		[]string{"query", "protocol", "rate_eps", "p50_us", "p99_us", "mean_us", "sent", "received"},
+		out)
+}
+
+// WriteFig8CSV exports the commit-interval sweep.
+func WriteFig8CSV(w io.Writer, q int, points []Fig8Point) error {
+	var out [][]string
+	for _, p := range points {
+		out = append(out, []string{
+			strconv.Itoa(q),
+			us(p.Interval),
+			us(p.Marker.P50), us(p.Marker.P99),
+			us(p.Txn.P50), us(p.Txn.P99),
+		})
+	}
+	return writeCSV(w,
+		[]string{"query", "commit_interval_us", "marker_p50_us", "marker_p99_us", "txn_p50_us", "txn_p99_us"},
+		out)
+}
+
+// WriteTable4CSV exports the recovery experiment.
+func WriteTable4CSV(w io.Writer, rows []Table4Row) error {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			strconv.Itoa(r.Rate),
+			us(r.BaselineRecovery), strconv.FormatUint(r.BaselineReplayed, 10),
+			us(r.CheckpointRecovery), strconv.FormatUint(r.CheckpointReplayed, 10),
+			fmt.Sprintf("%.2f", r.Speedup()),
+		})
+	}
+	return writeCSV(w,
+		[]string{"rate_eps", "baseline_recovery_us", "baseline_replayed", "ckpt_recovery_us", "ckpt_replayed", "speedup"},
+		out)
+}

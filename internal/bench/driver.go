@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"impeller"
+	"impeller/internal/core"
+	"impeller/internal/nexmark"
+)
+
+// RunConfig configures one NEXMark measurement run (one point of
+// Figure 7/8/9).
+type RunConfig struct {
+	// Query selects the NEXMark query (1–8).
+	Query int
+	// Protocol selects the fault-tolerance protocol.
+	Protocol impeller.Protocol
+	// Rate is the offered input load in events/s.
+	Rate int
+	// Duration is how long the generators run.
+	Duration time.Duration
+	// Warmup discards latency samples recorded before it elapses.
+	Warmup time.Duration
+	// CommitInterval (default 100 ms) and SnapshotInterval (default 0)
+	// follow the paper's settings.
+	CommitInterval   time.Duration
+	SnapshotInterval time.Duration
+	// Parallelism is the per-stage task count (default 2).
+	Parallelism int
+	// Generators is the number of input generators (paper: 4).
+	Generators int
+	// FlushInterval is the generator batch flush (paper: 10 ms for
+	// Q1–Q2, 100 ms for Q3–Q8; 0 selects by query).
+	FlushInterval time.Duration
+	// SimulateLatency charges calibrated log/coordinator latencies.
+	SimulateLatency bool
+	// LatencyScale scales simulated latencies (sub-real-time runs).
+	LatencyScale float64
+	// Seed fixes the generator and latency randomness.
+	Seed uint64
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.CommitInterval <= 0 {
+		c.CommitInterval = 100 * time.Millisecond
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 2
+	}
+	if c.Generators <= 0 {
+		c.Generators = 4
+	}
+	if c.Duration <= 0 {
+		c.Duration = 3 * time.Second
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = c.Duration / 4
+	}
+	if c.FlushInterval <= 0 {
+		if c.Query <= 2 {
+			c.FlushInterval = 10 * time.Millisecond
+		} else {
+			c.FlushInterval = 100 * time.Millisecond
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// RunResult is one measured point.
+type RunResult struct {
+	Config   RunConfig
+	Sent     uint64
+	Received uint64
+	P50, P99 time.Duration
+	Mean     time.Duration
+	Metrics  core.QueryMetrics
+	Elapsed  time.Duration
+}
+
+// String renders the point like the paper's figures report it.
+func (r *RunResult) String() string {
+	return fmt.Sprintf("q%d %-18s rate=%-7d p50=%-10v p99=%-10v recv=%d",
+		r.Config.Query, r.Config.Protocol, r.Config.Rate,
+		r.P50.Round(100*time.Microsecond), r.P99.Round(100*time.Microsecond), r.Received)
+}
+
+// RunNexmark executes one measurement run: it builds the query, offers
+// Rate events/s for Duration, and measures end-to-end event-time
+// latency at the output operator's emission (paper §5.3: "the interval
+// between the record's event-time, the time the event was generated,
+// and its emission time from the output operator").
+func RunNexmark(cfg RunConfig) (*RunResult, error) {
+	cfg = cfg.withDefaults()
+	cluster := impeller.NewCluster(impeller.ClusterConfig{
+		Protocol:             cfg.Protocol,
+		CommitInterval:       cfg.CommitInterval,
+		SnapshotInterval:     cfg.SnapshotInterval,
+		DefaultParallelism:   cfg.Parallelism,
+		IngressWriters:       cfg.Generators,
+		IngressFlushInterval: cfg.FlushInterval,
+		SimulateLatency:      cfg.SimulateLatency,
+		LatencyScale:         cfg.LatencyScale,
+		Seed:                 cfg.Seed,
+	})
+	defer cluster.Close()
+
+	topo, err := nexmark.BuildOpts(cfg.Query, nexmark.Options{PerUpdateWindows: true})
+	if err != nil {
+		return nil, err
+	}
+	app, err := cluster.Run(topo)
+	if err != nil {
+		return nil, err
+	}
+	defer app.Stop()
+
+	hist := &Hist{}
+	start := time.Now()
+	warmupUntil := start.Add(cfg.Warmup)
+	sink := app.Sink(nexmark.OutputStream(cfg.Query), false, func(r impeller.Record, _ impeller.TaskID, now time.Time) {
+		if now.Before(warmupUntil) {
+			return
+		}
+		hist.Record(now.Sub(time.UnixMicro(r.EventTime)))
+	})
+
+	// Generators: each paces Rate/Generators events/s in small ticks.
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	var sent uint64
+	var sentMu sync.Mutex
+	perGen := cfg.Rate / cfg.Generators
+	if perGen == 0 {
+		perGen = 1
+	}
+	for g := 0; g < cfg.Generators; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			gen := nexmark.NewGenerator(cfg.Seed + uint64(g))
+			tick := 2 * time.Millisecond
+			perTick := perGen * int(tick) / int(time.Second)
+			if perTick == 0 {
+				perTick = 1
+				tick = time.Second / time.Duration(perGen)
+			}
+			ticker := time.NewTicker(tick)
+			defer ticker.Stop()
+			deadline := start.Add(cfg.Duration)
+			n := uint64(0)
+			for time.Now().Before(deadline) {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+				}
+				for i := 0; i < perTick; i++ {
+					now := time.Now().UnixMicro()
+					ev := gen.Next(now)
+					n++
+					key := []byte(fmt.Sprintf("%d-%d", g, n))
+					if err := app.SendVia(nexmark.EventStream, g, key, ev.Payload, now); err != nil {
+						return
+					}
+				}
+			}
+			sentMu.Lock()
+			sent += n
+			sentMu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	// Drain: give the pipeline a few commit intervals to flush results.
+	drain := 5 * cfg.CommitInterval
+	if drain < 300*time.Millisecond {
+		drain = 300 * time.Millisecond
+	}
+	time.Sleep(drain)
+	cancel()
+
+	received, _, _ := sink.Counts()
+	return &RunResult{
+		Config:   cfg,
+		Sent:     sent,
+		Received: received,
+		P50:      hist.Percentile(50),
+		P99:      hist.Percentile(99),
+		Mean:     hist.Mean(),
+		Metrics:  app.Metrics(),
+		Elapsed:  time.Since(start),
+	}, nil
+}

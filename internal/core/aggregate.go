@@ -1,0 +1,124 @@
+package core
+
+import "encoding/binary"
+
+// Stateful aggregation operators (paper §4: groupby, stream/table
+// aggregate, table aggregate). All follow Kafka Streams semantics: the
+// result of an aggregation is a table — every input record emits the
+// key's updated aggregate downstream as an upsert.
+
+// Aggregator folds a record's value into an accumulator. acc is nil for
+// the key's first record; the returned slice becomes the new
+// accumulator.
+type Aggregator func(key, value, acc []byte) []byte
+
+// streamAggregate is a per-key stream aggregation.
+type streamAggregate struct {
+	name string
+	agg  Aggregator
+	ctx  ProcContext
+}
+
+// StreamAggregate aggregates records per key and emits the updated
+// accumulator for each input (stream → table). name namespaces the
+// operator's keys in the task's state store so multiple stateful
+// operators can share one store.
+func StreamAggregate(name string, agg Aggregator) Processor {
+	return &streamAggregate{name: name, agg: agg}
+}
+
+func (a *streamAggregate) Open(ctx ProcContext) error {
+	a.ctx = ctx
+	return nil
+}
+
+func (a *streamAggregate) Process(_ int, d Datum, emit Emit) error {
+	sk := a.name + "/" + string(d.Key)
+	acc, _ := a.ctx.Store().Get(sk)
+	acc = a.agg(d.Key, d.Value, acc)
+	a.ctx.Store().Put(sk, acc)
+	emit(0, Datum{Key: d.Key, Value: acc, EventTime: d.EventTime})
+	return nil
+}
+
+// Count emits the running count per key as a little-endian uint64.
+func Count(name string) Processor {
+	return StreamAggregate(name, func(_, _, acc []byte) []byte {
+		var n uint64
+		if len(acc) == 8 {
+			n = binary.LittleEndian.Uint64(acc)
+		}
+		return binary.LittleEndian.AppendUint64(nil, n+1)
+	})
+}
+
+// TableAggregator folds table updates: when a key's upstream value is
+// replaced, the old contribution must be subtracted and the new one
+// added (Kafka Streams' adder/subtractor pair).
+type TableAggregator struct {
+	// Add folds value into acc.
+	Add Aggregator
+	// Subtract removes value from acc.
+	Subtract Aggregator
+}
+
+// tableAggregate implements table → table aggregation with retraction.
+type tableAggregate struct {
+	name string
+	// rowKey extracts the table's primary key from the update; the
+	// record key is the (already repartitioned) aggregation group key.
+	rowKey func(d Datum) []byte
+	agg    TableAggregator
+	ctx    ProcContext
+}
+
+// TableAggregate aggregates a table grouped by the record key, with
+// retraction: each upsert of a row (identified by rowKey) subtracts the
+// row's previous value — remembered in state — and adds the new one,
+// emitting the updated aggregate (NEXMark Q4/Q6 average winning bids
+// use this). Rows of a group must share the group key, so the upstream
+// repartition co-locates a row's updates with its group.
+func TableAggregate(name string, rowKey func(d Datum) []byte, agg TableAggregator) Processor {
+	return &tableAggregate{name: name, rowKey: rowKey, agg: agg}
+}
+
+func (t *tableAggregate) Open(ctx ProcContext) error {
+	t.ctx = ctx
+	return nil
+}
+
+func (t *tableAggregate) Process(_ int, d Datum, emit Emit) error {
+	st := t.ctx.Store()
+	groupKey := d.Key
+	prevKey := t.name + "/prev/" + string(t.rowKey(d))
+	accKey := t.name + "/acc/" + string(groupKey)
+
+	acc, _ := st.Get(accKey)
+	if prev, ok := st.Get(prevKey); ok {
+		acc = t.agg.Subtract(groupKey, prev, acc)
+	}
+	acc = t.agg.Add(groupKey, d.Value, acc)
+	st.Put(prevKey, d.Value)
+	st.Put(accKey, acc)
+	emit(0, Datum{Key: groupKey, Value: acc, EventTime: d.EventTime})
+	return nil
+}
+
+// MapValues transforms a table's values without re-keying (paper Table 3
+// lists "table map values" in Q4/Q6).
+func MapValues(fn func(key, value []byte) []byte) Processor {
+	return ProcessorFunc(func(_ int, d Datum, emit Emit) error {
+		emit(0, Datum{Key: d.Key, Value: fn(d.Key, d.Value), EventTime: d.EventTime})
+		return nil
+	})
+}
+
+// Reduce is StreamAggregate with acc and value of the same type.
+func Reduce(name string, fn func(key, value, acc []byte) []byte) Processor {
+	return StreamAggregate(name, func(key, value, acc []byte) []byte {
+		if acc == nil {
+			return append([]byte(nil), value...)
+		}
+		return fn(key, value, acc)
+	})
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"sync"
+
+	"impeller/internal/sharedlog"
+)
+
+// appender is a per-destination append pipeline. Appends to the shared
+// log cost network latency, so a task never blocks its processing loop
+// on them: it submits jobs to appenders and only waits for them at
+// commit boundaries (a progress marker must follow every output it
+// covers in the log's total order, paper §3.5).
+//
+// One appender serves one destination (an output substream, the change
+// log, ...). Jobs are processed FIFO by a single goroutine, so appends
+// to a destination stay in submission order and sequence numbers within
+// a substream remain monotonic — which duplicate suppression relies on.
+type appender struct {
+	log *sharedlog.Log
+	ch  chan appendJob
+
+	// inflight counts submitted-but-incomplete jobs. Only the owning
+	// task goroutine calls submit and drain, so Add cannot race Wait.
+	inflight sync.WaitGroup
+
+	mu   sync.Mutex
+	err  error
+	done chan struct{}
+}
+
+type appendJob struct {
+	tags    []sharedlog.Tag
+	payload []byte
+	// onDone runs on the appender goroutine after the append completes;
+	// it must synchronize its own state.
+	onDone func(lsn LSN, err error)
+}
+
+func newAppender(log *sharedlog.Log, depth int) *appender {
+	a := &appender{log: log, ch: make(chan appendJob, depth), done: make(chan struct{})}
+	go a.run()
+	return a
+}
+
+func (a *appender) run() {
+	defer close(a.done)
+	for job := range a.ch {
+		lsn, err := a.log.Append(job.tags, job.payload)
+		if err != nil {
+			a.mu.Lock()
+			if a.err == nil {
+				a.err = err
+			}
+			a.mu.Unlock()
+		}
+		if job.onDone != nil {
+			job.onDone(lsn, err)
+		}
+		a.inflight.Done()
+	}
+}
+
+// submit enqueues an append. It may block if the pipeline is full,
+// which models output-buffer backpressure (paper §3.6: a task "must
+// pause processing" when its buffer fills).
+func (a *appender) submit(job appendJob) {
+	a.inflight.Add(1)
+	a.ch <- job
+}
+
+// drain blocks until every submitted job has completed and returns the
+// first append error observed, if any.
+func (a *appender) drain() error {
+	a.inflight.Wait()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
+}
+
+// close shuts the appender down after draining.
+func (a *appender) close() {
+	a.inflight.Wait()
+	close(a.ch)
+	<-a.done
+}

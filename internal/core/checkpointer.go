@@ -1,0 +1,179 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"impeller/internal/sharedlog"
+)
+
+// Checkpointer builds asynchronous state checkpoints for a marker-mode
+// stateful task (paper §3.5, "Accelerating state recovery"): it
+// replays the task's change log up to and including a progress marker —
+// skipping uncommitted records, since only committed ranges are
+// replayed — into a shadow store, and periodically writes the shadow's
+// snapshot to the checkpoint store. Checkpoints are incremental: each
+// one extends the previous by replaying only new change-log ranges.
+//
+// The checkpointer runs off the task's critical path (the paper
+// checkpoints every 10 s "as a progress marker is written") and
+// survives task restarts: it belongs to the manager, keyed by task id.
+type Checkpointer struct {
+	task TaskID
+	env  *Env
+
+	shadow *StateStore
+	// markerAt is the next task-log position to read.
+	markerAt LSN
+
+	// mu guards covered and epoch, which Covered() reads concurrently.
+	mu sync.Mutex
+	// covered is the LSN of the last marker folded into the shadow.
+	covered LSN
+	// epoch counts checkpoints written.
+	epoch uint64
+
+	// Metrics, when set, receives change-replay counts.
+	Metrics *TaskMetrics
+}
+
+// NewCheckpointer builds a checkpointer for task.
+func NewCheckpointer(task TaskID, env *Env) *Checkpointer {
+	return &Checkpointer{
+		task:   task,
+		env:    env,
+		shadow: NewStateStore(nil),
+	}
+}
+
+// Run checkpoints every SnapshotInterval until ctx is done.
+func (c *Checkpointer) Run(ctx context.Context) {
+	if c.env.SnapshotInterval <= 0 {
+		return
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-c.env.Clock.After(c.env.SnapshotInterval):
+		}
+		if err := c.Checkpoint(ctx); err != nil {
+			return
+		}
+	}
+}
+
+// Checkpoint advances the shadow store to the newest progress marker
+// and persists a snapshot covering it. It is exported so tests and the
+// recovery benchmark can force a checkpoint deterministically.
+func (c *Checkpointer) Checkpoint(ctx context.Context) error {
+	advanced, err := c.advance(ctx)
+	if err != nil {
+		return err
+	}
+	if !advanced {
+		return nil // no new marker since the last checkpoint
+	}
+	c.mu.Lock()
+	covered := c.covered
+	epoch := c.epoch + 1
+	c.mu.Unlock()
+	ck := &markerCheckpoint{
+		Epoch:      epoch,
+		CoveredLSN: covered,
+		State:      c.shadow.Snapshot(),
+	}
+	if err := c.env.Checkpoints.Put(MarkerCkptKey(c.task), ck.encode()); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.epoch = epoch
+	c.mu.Unlock()
+	// Annotate the covered marker with aux data indicating a checkpoint
+	// exists (paper §4: "Auxiliary data in the progress marker
+	// indicates the presence of a checkpoint").
+	_ = c.env.Log.SetAux(covered, []byte("checkpoint"))
+	if c.env.GC != nil {
+		// The change-log prefix covered by this checkpoint — and every
+		// marker before it — is no longer needed for recovery.
+		c.env.GC.Report("ckpt/"+c.task, covered)
+	}
+	return nil
+}
+
+// advance replays committed change-log ranges of any new markers into
+// the shadow store.
+func (c *Checkpointer) advance(ctx context.Context) (bool, error) {
+	taskTag := TaskLogTag(c.task)
+	changeTag := ChangeLogTag(c.task)
+	advanced := false
+	for {
+		if err := ctx.Err(); err != nil {
+			return advanced, err
+		}
+		rec, err := c.env.Log.ReadNext(taskTag, c.markerAt)
+		if err == sharedlog.ErrTrimmed {
+			c.markerAt = c.env.Log.TrimHorizon()
+			continue
+		}
+		if err != nil || rec == nil {
+			return advanced, err
+		}
+		c.markerAt = rec.LSN + 1
+		mb, err := DecodeBatch(rec.Payload)
+		if err != nil {
+			return advanced, err
+		}
+		if mb.Kind != KindMarker {
+			continue
+		}
+		m, err := DecodeMarker(mb.Control)
+		if err != nil {
+			return advanced, err
+		}
+		if m.ChangeFirst != NoLSN {
+			pos := m.ChangeFirst
+			for pos <= rec.LSN {
+				crec, err := c.env.Log.ReadNext(changeTag, pos)
+				if err != nil {
+					return advanced, err
+				}
+				if crec == nil || crec.LSN > rec.LSN {
+					break
+				}
+				pos = crec.LSN + 1
+				cb, err := DecodeBatch(crec.Payload)
+				if err != nil {
+					return advanced, err
+				}
+				if cb.Kind != KindChange {
+					continue
+				}
+				for i := range cb.Records {
+					r := &cb.Records[i]
+					value, deleted, derr := DecodeChange(r.Value)
+					if derr != nil {
+						continue
+					}
+					c.shadow.ApplyChange(string(r.Key), value, deleted)
+				}
+			}
+		}
+		c.mu.Lock()
+		c.covered = rec.LSN
+		c.mu.Unlock()
+		advanced = true
+	}
+}
+
+// Covered reports the LSN of the newest marker folded into checkpoints;
+// the garbage collector may trim the change log up to it (paper §3.5:
+// "All the log records before this progress marker can be deleted").
+func (c *Checkpointer) Covered() (LSN, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.epoch == 0 {
+		return 0, false
+	}
+	return c.covered, true
+}

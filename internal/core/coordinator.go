@@ -1,0 +1,348 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"impeller/internal/sharedlog"
+)
+
+// TxnCoordinator implements the Kafka Streams transaction coordinator
+// over the shared log (paper §5.1: "we place one transaction
+// coordinator on each storage node"; topics and partitions are emulated
+// by shared log tags). Every coordinator interaction a task performs in
+// phase one is a synchronous RPC charged with the configured latency;
+// phase two (commit markers to every touched substream, the offsets
+// record, the final commit record) runs asynchronously inside the
+// coordinator, exactly as in §3.6.
+//
+// The coordinator runs on the storage nodes, which the evaluated fault
+// model keeps alive (the paper's baselines assume the same), so its
+// in-memory state survives task failures and it can finish or abort a
+// failed task's transaction during fencing.
+type TxnCoordinator struct {
+	log    *sharedlog.Log
+	env    *Env
+	shards int
+
+	mu        sync.Mutex
+	instances map[TaskID]uint64
+	open      map[TaskID]*openTxn
+}
+
+type openTxn struct {
+	instance uint64
+	epoch    uint64
+	touched  []sharedlog.Tag
+	prepared bool
+	offsets  *ProgressMarker
+	done     chan struct{}
+}
+
+// NewTxnCoordinator builds a coordinator for the query's log. shards
+// models the number of coordinator replicas (one per storage node).
+func NewTxnCoordinator(env *Env, shards int) *TxnCoordinator {
+	if shards <= 0 {
+		shards = 1
+	}
+	return &TxnCoordinator{
+		log:       env.Log,
+		env:       env,
+		shards:    shards,
+		instances: make(map[TaskID]uint64),
+		open:      make(map[TaskID]*openTxn),
+	}
+}
+
+func (c *TxnCoordinator) shardOf(task TaskID) int {
+	return Partition([]byte(task), c.shards)
+}
+
+func (c *TxnCoordinator) chargeRPC() {
+	if m := c.env.CoordinatorLatency; m != nil {
+		c.env.Clock.Sleep(m.Sample())
+	}
+}
+
+// appendTxnLog writes a coordinator transaction-stream record.
+func (c *TxnCoordinator) appendTxnLog(task TaskID, kind string, epoch uint64) {
+	payload := (&Batch{
+		Kind:     KindTxnLog,
+		Producer: task,
+		Epoch:    epoch,
+		Control:  []byte(kind),
+	}).Encode()
+	// Best-effort: the coordinator's own stream is bookkeeping; a
+	// closed log during shutdown is not an error path tasks care about.
+	_, _ = c.log.Append([]sharedlog.Tag{TxnStreamTag(c.shardOf(task))}, payload)
+}
+
+// Register adds output substreams to the task's current transaction —
+// the synchronous AddPartitionsToTxn round trip of phase one.
+func (c *TxnCoordinator) Register(task TaskID, instance, epoch uint64, tags []sharedlog.Tag) {
+	c.chargeRPC()
+	c.mu.Lock()
+	if cur, ok := c.instances[task]; ok && instance < cur {
+		c.mu.Unlock()
+		return // fenced; the zombie learns at prepare time
+	}
+	c.instances[task] = instance
+	txn := c.open[task]
+	if txn == nil || txn.epoch != epoch || txn.instance != instance {
+		txn = &openTxn{instance: instance, epoch: epoch}
+		c.open[task] = txn
+	}
+	txn.touched = append(txn.touched, tags...)
+	c.mu.Unlock()
+	c.appendTxnLog(task, "add-partitions", epoch)
+}
+
+// Prepare runs the synchronous pre-commit of phase one and launches
+// phase two. It returns a channel closed when phase two completes;
+// the next transaction must wait on it before committing.
+func (c *TxnCoordinator) Prepare(task TaskID, instance, epoch uint64, touched []sharedlog.Tag, offsets *ProgressMarker) (<-chan struct{}, error) {
+	c.chargeRPC()
+	c.mu.Lock()
+	if cur, ok := c.instances[task]; ok && instance < cur {
+		c.mu.Unlock()
+		return nil, ErrZombie
+	}
+	c.instances[task] = instance
+	txn := c.open[task]
+	if txn == nil || txn.instance != instance || txn.epoch != epoch {
+		txn = &openTxn{instance: instance, epoch: epoch}
+	}
+	txn.touched = dedupTags(append(txn.touched, touched...))
+	txn.prepared = true
+	txn.offsets = offsets
+	txn.done = make(chan struct{})
+	c.open[task] = txn
+	c.mu.Unlock()
+
+	c.appendTxnLog(task, "prepare-commit", epoch)
+	go c.completePhase2(task, txn)
+	return txn.done, nil
+}
+
+// completePhase2 appends a commit marker to every touched substream,
+// the offsets record, and the final commit record (paper §3.6, second
+// phase). Kafka appends the per-partition markers concurrently; the
+// elapsed time is their maximum.
+func (c *TxnCoordinator) completePhase2(task TaskID, txn *openTxn) {
+	defer close(txn.done)
+	var wg sync.WaitGroup
+	for _, tag := range txn.touched {
+		wg.Add(1)
+		go func(tag sharedlog.Tag) {
+			defer wg.Done()
+			payload := (&Batch{
+				Kind:     KindTxnCommit,
+				Producer: task,
+				Instance: txn.instance,
+				Epoch:    txn.epoch,
+			}).Encode()
+			_, _ = c.log.Append([]sharedlog.Tag{tag}, payload)
+		}(tag)
+	}
+	wg.Wait()
+	if txn.offsets != nil {
+		payload := (&Batch{
+			Kind:     KindTxnOffsets,
+			Producer: task,
+			Instance: txn.instance,
+			Epoch:    txn.epoch,
+			Control:  txn.offsets.Encode(),
+		}).Encode()
+		_, _ = c.log.Append([]sharedlog.Tag{OffsetStreamTag(task)}, payload)
+	}
+	c.appendTxnLog(task, "commit", txn.epoch)
+
+	c.mu.Lock()
+	if c.open[task] == txn {
+		delete(c.open, task)
+	}
+	c.mu.Unlock()
+}
+
+// Fence registers a new instance for task and resolves any transaction
+// left by the previous one: prepared transactions complete (their
+// pre-commit record is the commit point); unprepared ones abort, making
+// their records permanently invisible downstream.
+func (c *TxnCoordinator) Fence(task TaskID, newInstance uint64) {
+	c.mu.Lock()
+	txn := c.open[task]
+	if txn != nil && txn.instance >= newInstance {
+		txn = nil // not an older instance; nothing to resolve
+	}
+	old := c.instances[task]
+	if newInstance > old {
+		c.instances[task] = newInstance
+	}
+	if txn != nil {
+		delete(c.open, task)
+	}
+	c.mu.Unlock()
+	if txn == nil {
+		return
+	}
+	if txn.prepared {
+		<-txn.done // phase two already running; let it finish
+		return
+	}
+	c.appendTxnLog(task, "prepare-abort", txn.epoch)
+	for _, tag := range dedupTags(txn.touched) {
+		payload := (&Batch{
+			Kind:     KindTxnAbort,
+			Producer: task,
+			Instance: txn.instance,
+			Epoch:    txn.epoch,
+		}).Encode()
+		_, _ = c.log.Append([]sharedlog.Tag{tag}, payload)
+	}
+	c.appendTxnLog(task, "abort", txn.epoch)
+}
+
+func dedupTags(tags []sharedlog.Tag) []sharedlog.Tag {
+	seen := make(map[sharedlog.Tag]bool, len(tags))
+	out := tags[:0]
+	for _, t := range tags {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// --- Aligned checkpoint coordinator (paper §5.1 baseline) ---
+
+// CkptCoordinator drives Flink-style aligned checkpoints: it initiates
+// a checkpoint every commit interval, sources inject barriers, every
+// task snapshots its state to the checkpoint store when its barriers
+// align, and the checkpoint completes when all participants have acked.
+// At most one checkpoint is in progress (paper §5.1: "we allow one
+// in-progress checkpoint in the system").
+type CkptCoordinator struct {
+	mu           sync.Mutex
+	epoch        uint64 // currently initiated checkpoint
+	completed    uint64 // last fully acked checkpoint
+	pending      map[TaskID]bool
+	participants map[TaskID]bool
+	sources      map[TaskID]uint64 // source id -> last epoch it emitted barriers for
+	started      time.Time
+	clock        interface{ Now() time.Time }
+	timeout      time.Duration
+}
+
+// NewCkptCoordinator builds a coordinator; participants are registered
+// before Start.
+func NewCkptCoordinator(env *Env) *CkptCoordinator {
+	return &CkptCoordinator{
+		pending:      make(map[TaskID]bool),
+		participants: make(map[TaskID]bool),
+		sources:      make(map[TaskID]uint64),
+		clock:        env.Clock,
+		timeout:      10 * env.CommitInterval,
+	}
+}
+
+// AddParticipant registers a task (or source) whose ack gates
+// checkpoint completion.
+func (c *CkptCoordinator) AddParticipant(id TaskID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.participants[id] = true
+}
+
+// RemoveParticipant unregisters a participant (e.g. a stopped source).
+func (c *CkptCoordinator) RemoveParticipant(id TaskID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.participants, id)
+	delete(c.pending, id)
+	c.maybeCompleteLocked()
+}
+
+// Tick is called on the coordinator's interval: it initiates the next
+// checkpoint if none is in progress, and aborts one that timed out.
+func (c *CkptCoordinator) Tick(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.pending) > 0 {
+		if now.Sub(c.started) > c.timeout {
+			c.pending = make(map[TaskID]bool) // abort; epoch never completes
+		} else {
+			return
+		}
+	}
+	if c.epoch > c.completed {
+		return // initiated but sources haven't finished emitting yet
+	}
+	c.epoch++
+	c.started = now
+	for id := range c.participants {
+		c.pending[id] = true
+	}
+}
+
+// BarrierEpoch reports the checkpoint epoch a source should emit
+// barriers for, if it has not already done so.
+func (c *CkptCoordinator) BarrierEpoch(source TaskID) (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.epoch == 0 || c.sources[source] >= c.epoch || !c.pending[source] {
+		return 0, false
+	}
+	c.sources[source] = c.epoch
+	return c.epoch, true
+}
+
+// Ack records that a participant finished snapshotting for epoch; the
+// checkpoint completes when the last participant acks.
+func (c *CkptCoordinator) Ack(id TaskID, epoch uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch != c.epoch {
+		return
+	}
+	delete(c.pending, id)
+	c.maybeCompleteLocked()
+}
+
+func (c *CkptCoordinator) maybeCompleteLocked() {
+	if len(c.pending) == 0 && c.epoch > c.completed {
+		c.completed = c.epoch
+	}
+}
+
+// LastCompleted returns the newest fully acked checkpoint epoch.
+func (c *CkptCoordinator) LastCompleted() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.completed
+}
+
+// Loop ticks the coordinator until ctx is done.
+func (c *CkptCoordinator) Loop(ctx context.Context, env *Env) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-env.Clock.After(env.CommitInterval):
+			c.Tick(env.Clock.Now())
+		}
+	}
+}
+
+// CkptKey is the checkpoint store key for a task's aligned snapshot.
+func CkptKey(task TaskID, epoch uint64) string {
+	return fmt.Sprintf("ackpt/%s/%d", task, epoch)
+}
+
+// MarkerCkptKey is the checkpoint store key for a task's marker-mode
+// asynchronous state checkpoint (paper §3.5).
+func MarkerCkptKey(task TaskID) string {
+	return "mckpt/" + string(task)
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"impeller/internal/sharedlog"
+)
+
+// Sink consumes a query's final output stream and hands each record to
+// a callback.
+//
+// Ungated (default), it observes records at their emission from the
+// output operator — the paper's latency measurement point (§5.3: "the
+// interval between the record's event-time ... and its emission time
+// from the output operator").
+//
+// Gated, it behaves like a downstream consumer: it runs the same
+// commit-classification as a task and delivers only committed records —
+// what exactly-once verification must count.
+//
+// Either way the sink deduplicates by producer sequence number.
+type Sink struct {
+	stream     StreamID
+	partitions int
+	env        *Env
+	gated      bool
+	tracker    commitTracker
+	queue      []queuedBatch
+
+	// OnRecord, when set, observes each distinct output record along
+	// with the wall-clock time it became available.
+	OnRecord func(r Record, producer TaskID, now time.Time)
+
+	mu        sync.Mutex
+	lastSeq   map[TaskID]uint64
+	received  uint64
+	duplicate uint64
+	dropped   uint64
+}
+
+// NewSink builds an ungated sink over the final output stream.
+func NewSink(stream StreamID, partitions int, env *Env) *Sink {
+	return &Sink{stream: stream, partitions: partitions, env: env, lastSeq: make(map[TaskID]uint64)}
+}
+
+// NewGatedSink builds a sink that delivers only committed records,
+// using the tracker matching env.Protocol. Gated sinks read substream 0
+// semantics across all partitions: each partition tag gets its own
+// marker tracker.
+func NewGatedSink(stream StreamID, partitions int, env *Env) *Sink {
+	s := NewSink(stream, partitions, env)
+	s.gated = true
+	switch env.Protocol {
+	case ProtoProgressMarker:
+		s.tracker = newMultiTagMarkerTracker(s.tags())
+	case ProtoKafkaTxn:
+		s.tracker = newTxnTracker()
+	default:
+		s.tracker = openTracker{}
+	}
+	return s
+}
+
+func (s *Sink) tags() []sharedlog.Tag {
+	tags := make([]sharedlog.Tag, s.partitions)
+	for i := range tags {
+		tags[i] = DataTag(s.stream, i)
+	}
+	return tags
+}
+
+// Run consumes until ctx is done.
+func (s *Sink) Run(ctx context.Context) error {
+	tags := s.tags()
+	tagIndex := make(map[sharedlog.Tag]int, len(tags))
+	for i, t := range tags {
+		tagIndex[t] = i
+	}
+	var cursor LSN
+	for {
+		rec, err := s.env.Log.ReadNextAnyBlocking(ctx, tags, cursor)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if err == sharedlog.ErrTrimmed {
+				cursor = s.env.Log.TrimHorizon()
+				continue
+			}
+			return err
+		}
+		cursor = rec.LSN + 1
+		b, err := DecodeBatch(rec.Payload)
+		if err != nil {
+			return err
+		}
+		if b.Kind.isControl() {
+			if s.gated {
+				if err := s.observe(b, rec.LSN); err != nil {
+					return err
+				}
+				s.drain(tags)
+			}
+			continue
+		}
+		if b.Kind != KindData && b.Kind != KindSource {
+			continue
+		}
+		port := 0
+		for _, t := range rec.Tags {
+			if i, ok := tagIndex[t]; ok {
+				port = i
+				break
+			}
+		}
+		if !s.gated {
+			s.deliver(b)
+			continue
+		}
+		s.queue = append(s.queue, queuedBatch{lsn: rec.LSN, port: port, batch: b})
+		s.drain(tags)
+	}
+}
+
+func (s *Sink) observe(b *Batch, lsn LSN) error {
+	if mt, ok := s.tracker.(*multiTagMarkerTracker); ok {
+		return mt.observe(b, lsn)
+	}
+	return s.tracker.observeControl(b, lsn)
+}
+
+func (s *Sink) drain(tags []sharedlog.Tag) {
+	for len(s.queue) > 0 {
+		head := s.queue[0]
+		var c classification
+		if mt, ok := s.tracker.(*multiTagMarkerTracker); ok {
+			c = mt.classifyTagged(tags[head.port], head.batch, head.lsn)
+		} else {
+			c = s.tracker.classify(head.batch, head.lsn)
+		}
+		switch c {
+		case classCommitted:
+			s.queue = s.queue[1:]
+			s.deliver(head.batch)
+		case classUncommitted:
+			s.queue = s.queue[1:]
+			s.mu.Lock()
+			s.dropped += uint64(len(head.batch.Records))
+			s.mu.Unlock()
+		case classUnknown:
+			return
+		}
+	}
+}
+
+func (s *Sink) deliver(b *Batch) {
+	now := s.env.Clock.Now()
+	s.mu.Lock()
+	for i := range b.Records {
+		r := &b.Records[i]
+		if r.Seq <= s.lastSeq[b.Producer] {
+			s.duplicate++
+			continue
+		}
+		s.lastSeq[b.Producer] = r.Seq
+		s.received++
+		if s.OnRecord != nil {
+			s.OnRecord(*r, b.Producer, now)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Counts reports distinct, duplicate, and (gated) discarded-uncommitted
+// record counts seen so far.
+func (s *Sink) Counts() (received, duplicates, droppedUncommitted uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.received, s.duplicate, s.dropped
+}

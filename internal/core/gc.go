@@ -1,0 +1,94 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"impeller/internal/sharedlog"
+)
+
+// GCController implements Impeller's garbage collection (paper §3.5):
+// consumers report the lowest LSN they still need (their "floor"); a
+// master GC task computes the global minimum and issues the shared
+// log's prefix-trim. A task's floor accounts for
+//
+//   - consumed inputs: everything at or below its committed InputEnd is
+//     released,
+//   - its own recovery needs: its latest progress marker, and the
+//     change-log suffix not yet covered by a state checkpoint.
+//
+// Stateful tasks without checkpoints pin the log at their first change
+// record — exactly why the paper pairs GC with asynchronous
+// checkpointing.
+type GCController struct {
+	log *sharedlog.Log
+
+	mu     sync.Mutex
+	floors map[TaskID]LSN
+}
+
+// NewGCController builds a controller for log.
+func NewGCController(log *sharedlog.Log) *GCController {
+	return &GCController{log: log, floors: make(map[TaskID]LSN)}
+}
+
+// Report records a consumer's floor: the lowest LSN it may still read.
+// Reports are monotonic; a lower report than before is ignored.
+func (g *GCController) Report(id TaskID, floor LSN) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if cur, ok := g.floors[id]; !ok || floor > cur {
+		g.floors[id] = floor
+	}
+}
+
+// Forget removes a consumer (e.g. a stopped sink) from the floor set.
+func (g *GCController) Forget(id TaskID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.floors, id)
+}
+
+// SafeHorizon returns the global minimum floor, and false when no
+// consumer has reported yet.
+func (g *GCController) SafeHorizon() (LSN, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.floors) == 0 {
+		return 0, false
+	}
+	min := sharedlog.MaxLSN
+	for _, f := range g.floors {
+		if f < min {
+			min = f
+		}
+	}
+	return min, true
+}
+
+// Collect trims the log to the current safe horizon and returns the new
+// horizon.
+func (g *GCController) Collect() (LSN, error) {
+	h, ok := g.SafeHorizon()
+	if !ok {
+		return g.log.TrimHorizon(), nil
+	}
+	if err := g.log.Trim(h); err != nil {
+		return 0, err
+	}
+	return g.log.TrimHorizon(), nil
+}
+
+// Run collects on every tick of interval until ctx is done.
+func (g *GCController) Run(ctx context.Context, env *Env) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-env.Clock.After(env.CommitInterval * 10):
+		}
+		if _, err := g.Collect(); err != nil {
+			return
+		}
+	}
+}

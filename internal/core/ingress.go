@@ -1,0 +1,130 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"impeller/internal/sharedlog"
+)
+
+// Ingress materializes external input records as shared-log entries
+// (paper §3.2, Figure 2 steps ①–③: gateway → data ingress → log).
+// Generators call Send; the ingress batches per destination substream
+// and flushes on its interval (the paper's generators flush every
+// 10–100 ms). Source batches are committed on arrival — the log is the
+// canonical input — so the ingress needs no progress markers; under the
+// aligned-checkpoint protocol it additionally injects barriers when the
+// coordinator starts a checkpoint, acting as the query's source
+// operator.
+type Ingress struct {
+	// ID names this writer, e.g. "ingress/0"; multiple generators write
+	// concurrently under distinct ids.
+	ID TaskID
+
+	stream     StreamID
+	partitions int
+	env        *Env
+	ckpt       *CkptCoordinator
+
+	mu   sync.Mutex
+	bufs []*batchBuf
+	seq  uint64
+	sent uint64
+}
+
+// NewIngress builds an ingress writer for stream with the given
+// substream count (the consuming stage's parallelism).
+func NewIngress(id TaskID, stream StreamID, partitions int, env *Env, ckpt *CkptCoordinator) *Ingress {
+	bufs := make([]*batchBuf, partitions)
+	for i := range bufs {
+		bufs[i] = &batchBuf{}
+	}
+	return &Ingress{ID: id, stream: stream, partitions: partitions, env: env, ckpt: ckpt, bufs: bufs}
+}
+
+// Send buffers one input record; key selects the substream.
+func (g *Ingress) Send(key, value []byte, eventTime int64) {
+	g.mu.Lock()
+	g.seq++
+	g.sent++
+	sub := Partition(key, g.partitions)
+	g.bufs[sub].add(Record{Seq: g.seq, EventTime: eventTime, Key: key, Value: value})
+	g.mu.Unlock()
+}
+
+// Sent reports how many records have been accepted.
+func (g *Ingress) Sent() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.sent
+}
+
+// Flush appends all buffered batches (one append per non-empty
+// substream, issued concurrently) and, under aligned checkpoints,
+// injects a barrier when the coordinator has started a new checkpoint.
+func (g *Ingress) Flush() error {
+	g.mu.Lock()
+	type pending struct {
+		sub     int
+		records []Record
+	}
+	var out []pending
+	for sub, buf := range g.bufs {
+		if len(buf.records) > 0 {
+			out = append(out, pending{sub: sub, records: buf.take()})
+		}
+	}
+	g.mu.Unlock()
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(out))
+	for i, p := range out {
+		wg.Add(1)
+		go func(i int, p pending) {
+			defer wg.Done()
+			batch := &Batch{Kind: KindSource, Producer: g.ID, Instance: 1, Records: p.records}
+			_, err := g.env.Log.Append([]sharedlog.Tag{DataTag(g.stream, p.sub)}, batch.Encode())
+			errs[i] = err
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	if g.ckpt != nil {
+		if epoch, ok := g.ckpt.BarrierEpoch(g.ID); ok {
+			// One atomic multi-tag append delivers the barrier to every
+			// substream; the source's "state" (its send counter) needs
+			// no snapshot because the log retains the input.
+			tags := make([]sharedlog.Tag, g.partitions)
+			for i := range tags {
+				tags[i] = DataTag(g.stream, i)
+			}
+			payload := (&Batch{Kind: KindBarrier, Producer: g.ID, Instance: 1, Epoch: epoch}).Encode()
+			if _, err := g.env.Log.Append(tags, payload); err != nil {
+				return err
+			}
+			g.ckpt.Ack(g.ID, epoch)
+		}
+	}
+	return nil
+}
+
+// Run flushes every interval until ctx is done, then performs one final
+// flush so buffered records are not lost on shutdown.
+func (g *Ingress) Run(ctx context.Context, interval time.Duration) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return g.Flush()
+		case <-g.env.Clock.After(interval):
+			if err := g.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+}

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Manager schedules a query's tasks and monitors their health (paper
+// §3.2: "we use a task manager for scheduling tasks and monitoring the
+// status of each task"). It assigns each task a stable id and an instance
+// number registered in the shared log's metadata store; restarting a
+// task atomically increments the instance number, which fences the old
+// instance's progress markers (paper §3.4).
+type Manager struct {
+	env   *Env
+	query *Query
+
+	txn  *TxnCoordinator
+	ckpt *CkptCoordinator
+
+	// HeartbeatTimeout is how long a silent task survives before being
+	// declared failed; MonitorInterval is the health-check cadence.
+	// Set them before Start, or afterwards via SetTimeouts.
+	HeartbeatTimeout time.Duration
+	MonitorInterval  time.Duration
+
+	mu            sync.Mutex
+	handles       map[TaskID]*taskHandle
+	checkpointers map[TaskID]*Checkpointer
+	metrics       map[TaskID]*TaskMetrics
+	restarts      map[TaskID]int
+	started       bool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+type taskHandle struct {
+	task   *Task
+	cancel context.CancelFunc
+	done   chan struct{}
+	err    error
+	lastHB atomic.Int64 // unix nanos of last heartbeat
+	zombie atomic.Bool  // heartbeats suppressed (simulated partition)
+}
+
+// NewManager builds a manager for query over env. It validates the
+// query and constructs the protocol coordinators.
+func NewManager(env *Env, query *Query) (*Manager, error) {
+	if err := query.Validate(); err != nil {
+		return nil, err
+	}
+	e := env.withDefaults()
+	m := &Manager{
+		env:              e,
+		query:            query,
+		HeartbeatTimeout: 20 * e.CommitInterval,
+		MonitorInterval:  e.CommitInterval,
+		handles:          make(map[TaskID]*taskHandle),
+		checkpointers:    make(map[TaskID]*Checkpointer),
+		metrics:          make(map[TaskID]*TaskMetrics),
+		restarts:         make(map[TaskID]int),
+	}
+	switch e.Protocol {
+	case ProtoKafkaTxn:
+		shards := 1
+		if e.Log != nil {
+			shards = e.Log.NumShards()
+		}
+		m.txn = NewTxnCoordinator(e, shards)
+	case ProtoAlignedCheckpoint:
+		m.ckpt = NewCkptCoordinator(e)
+		for _, s := range query.Stages {
+			if len(s.UpstreamProducers) == 0 {
+				return nil, fmt.Errorf("core: aligned checkpoints need UpstreamProducers on stage %s", s.Name)
+			}
+		}
+	}
+	return m, nil
+}
+
+// Env returns the manager's effective environment (defaults applied).
+func (m *Manager) Env() *Env { return m.env }
+
+// SetTimeouts adjusts failure detection while the manager runs.
+func (m *Manager) SetTimeouts(heartbeat, monitor time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if heartbeat > 0 {
+		m.HeartbeatTimeout = heartbeat
+	}
+	if monitor > 0 {
+		m.MonitorInterval = monitor
+	}
+}
+
+// Ckpt returns the aligned-checkpoint coordinator, or nil.
+func (m *Manager) Ckpt() *CkptCoordinator { return m.ckpt }
+
+// Txn returns the transaction coordinator, or nil.
+func (m *Manager) Txn() *TxnCoordinator { return m.txn }
+
+// Start launches every task, the health monitor, and the protocol
+// coordinators. Tasks keep running until Stop or ctx cancellation.
+func (m *Manager) Start(ctx context.Context) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return errors.New("core: manager already started")
+	}
+	m.started = true
+	m.ctx, m.cancel = context.WithCancel(ctx)
+
+	for _, stage := range m.query.Stages {
+		for sub := 0; sub < stage.Parallelism; sub++ {
+			id := TaskID(fmt.Sprintf("%s/%d", stage.Name, sub))
+			m.metrics[id] = &TaskMetrics{}
+			if m.ckpt != nil {
+				m.ckpt.AddParticipant(id)
+			}
+			if m.env.GC != nil {
+				m.env.GC.Report(id, 0)
+				if stage.Stateful {
+					m.env.GC.Report("ckpt/"+id, 0)
+				}
+			}
+			m.spawnLocked(stage, sub, id)
+			if stage.Stateful && m.env.Protocol == ProtoProgressMarker && m.env.SnapshotInterval > 0 {
+				cp := NewCheckpointer(id, m.env)
+				cp.Metrics = m.metrics[id]
+				m.checkpointers[id] = cp
+				m.wg.Add(1)
+				go func() {
+					defer m.wg.Done()
+					cp.Run(m.ctx)
+				}()
+			}
+		}
+	}
+	if m.ckpt != nil {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.ckpt.Loop(m.ctx, m.env)
+		}()
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.monitor()
+	}()
+	return nil
+}
+
+// spawnLocked starts a fresh instance of a task. Caller holds m.mu.
+func (m *Manager) spawnLocked(stage *Stage, sub int, id TaskID) {
+	instance := m.env.Log.FenceIncrement(InstanceKey(id))
+	if m.txn != nil {
+		m.txn.Fence(id, instance)
+	}
+	h := &taskHandle{done: make(chan struct{})}
+	h.lastHB.Store(time.Now().UnixNano())
+	task := NewTask(stage, sub, instance, m.env, TaskOptions{
+		Txn:     m.txn,
+		Ckpt:    m.ckpt,
+		Metrics: m.metrics[id],
+		Heartbeat: func() {
+			if !h.zombie.Load() {
+				h.lastHB.Store(time.Now().UnixNano())
+			}
+		},
+	})
+	h.task = task
+	tctx, cancel := context.WithCancel(m.ctx)
+	h.cancel = cancel
+	m.handles[id] = h
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		h.err = task.Run(tctx)
+		close(h.done)
+	}()
+}
+
+// monitor restarts tasks whose heartbeat went stale or whose goroutine
+// exited with a failure (paper §2.2, "Neutralizing zombies": a silent
+// task is replaced; if it was merely partitioned it becomes a zombie
+// and is fenced at its next progress marker).
+func (m *Manager) monitor() {
+	for {
+		m.mu.Lock()
+		interval, hbTimeout := m.MonitorInterval, m.HeartbeatTimeout
+		m.mu.Unlock()
+		select {
+		case <-m.ctx.Done():
+			return
+		case <-m.env.Clock.After(interval):
+		}
+		now := time.Now().UnixNano()
+		m.mu.Lock()
+		for id, h := range m.handles {
+			stale := now-h.lastHB.Load() > hbTimeout.Nanoseconds()
+			exited := false
+			select {
+			case <-h.done:
+				exited = true
+			default:
+			}
+			if exited && (h.err == nil || errors.Is(h.err, context.Canceled) && m.ctx.Err() != nil) {
+				continue // clean shutdown
+			}
+			if exited && errors.Is(h.err, ErrZombie) {
+				continue // fenced zombie; replacement already running
+			}
+			if !exited && !stale {
+				continue
+			}
+			stage, sub := m.locate(id)
+			if stage == nil {
+				continue
+			}
+			m.restarts[id]++
+			// The stale instance may still be alive (zombie); leave it
+			// running — the shared log fences it (paper §3.4). A truly
+			// crashed instance's context is cancelled defensively.
+			if exited {
+				h.cancel()
+			}
+			m.spawnLocked(stage, sub, id)
+		}
+		m.mu.Unlock()
+	}
+}
+
+func (m *Manager) locate(id TaskID) (*Stage, int) {
+	for _, stage := range m.query.Stages {
+		for sub := 0; sub < stage.Parallelism; sub++ {
+			if TaskID(fmt.Sprintf("%s/%d", stage.Name, sub)) == id {
+				return stage, sub
+			}
+		}
+	}
+	return nil, 0
+}
+
+// Kill simulates a crash of the task's current instance: its goroutine
+// stops abruptly and its in-memory state is lost. The monitor restarts
+// it on the next tick.
+func (m *Manager) Kill(id TaskID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.handles[id]
+	if !ok {
+		return fmt.Errorf("core: unknown task %s", id)
+	}
+	h.cancel()
+	h.lastHB.Store(0) // ensure the monitor sees it as failed immediately
+	return nil
+}
+
+// KillAll crashes every task (the Table 4 whole-query failure).
+func (m *Manager) KillAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, h := range m.handles {
+		h.cancel()
+		h.lastHB.Store(0)
+	}
+}
+
+// Zombify simulates a network partition between the task and the
+// manager: heartbeats stop arriving, the monitor starts a replacement,
+// but the old instance keeps running until the log fences it.
+func (m *Manager) Zombify(id TaskID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.handles[id]
+	if !ok {
+		return fmt.Errorf("core: unknown task %s", id)
+	}
+	h.zombie.Store(true)
+	h.lastHB.Store(0)
+	return nil
+}
+
+// RestartNow forces an immediate restart of a task (deterministic
+// alternative to waiting for the monitor).
+func (m *Manager) RestartNow(id TaskID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.handles[id]
+	if !ok {
+		return fmt.Errorf("core: unknown task %s", id)
+	}
+	h.cancel()
+	<-h.done
+	stage, sub := m.locate(id)
+	if stage == nil {
+		return fmt.Errorf("core: cannot locate task %s", id)
+	}
+	m.restarts[id]++
+	m.spawnLocked(stage, sub, id)
+	return nil
+}
+
+// Restarts reports how many times the task was restarted.
+func (m *Manager) Restarts(id TaskID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.restarts[id]
+}
+
+// Checkpointer returns a stateful task's asynchronous checkpointer
+// (marker protocol only), or nil.
+func (m *Manager) Checkpointer(id TaskID) *Checkpointer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.checkpointers[id]
+}
+
+// TaskMetrics returns a task's (instance-spanning) metrics, or nil.
+func (m *Manager) TaskMetrics(id TaskID) *TaskMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.metrics[id]
+}
+
+// Metrics aggregates all task metrics.
+func (m *Manager) Metrics() QueryMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var q QueryMetrics
+	for _, tm := range m.metrics {
+		q.Add(tm)
+	}
+	return q
+}
+
+// TaskIDs lists the query's task ids in stage order.
+func (m *Manager) TaskIDs() []TaskID {
+	var ids []TaskID
+	for _, stage := range m.query.Stages {
+		for sub := 0; sub < stage.Parallelism; sub++ {
+			ids = append(ids, TaskID(fmt.Sprintf("%s/%d", stage.Name, sub)))
+		}
+	}
+	return ids
+}
+
+// Stop cancels every task and waits for shutdown.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	if m.cancel != nil {
+		m.cancel()
+	}
+	m.mu.Unlock()
+	m.wg.Wait()
+}

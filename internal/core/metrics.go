@@ -1,0 +1,64 @@
+package core
+
+import "sync/atomic"
+
+// TaskMetrics counts a task's work; all fields are safe for concurrent
+// reads while the task runs. The benchmark harness aggregates these per
+// query and the ablation benches read the marker byte counters.
+type TaskMetrics struct {
+	// Processed counts data records actually applied to the processor.
+	Processed atomic.Uint64
+	// Emitted counts records produced to output streams.
+	Emitted atomic.Uint64
+	// DroppedUncommitted counts records discarded by the three-case
+	// classification (outputs of failed instances, aborted txns).
+	DroppedUncommitted atomic.Uint64
+	// DroppedDuplicate counts records suppressed by per-producer
+	// sequence numbers (paper §3.5, duplicate appends).
+	DroppedDuplicate atomic.Uint64
+	// Buffered counts records that entered the unknown-state queue.
+	Buffered atomic.Uint64
+	// Markers counts progress markers written.
+	Markers atomic.Uint64
+	// MarkerBytes and MarkerBytesUnshrunk compare the §3.5 shrunk
+	// encoding against the naive one (ablation).
+	MarkerBytes         atomic.Uint64
+	MarkerBytesUnshrunk atomic.Uint64
+	// Appends counts log appends issued (outputs, change log, control).
+	Appends atomic.Uint64
+	// CommitStalls counts commit ticks that had to wait for a previous
+	// in-flight commit (Kafka transactions, aligned checkpoints).
+	CommitStalls atomic.Uint64
+	// ChangeRecords counts state-change records written.
+	ChangeRecords atomic.Uint64
+	// RecoveredChanges counts change-log records replayed at recovery
+	// (Table 4 reports this).
+	RecoveredChanges atomic.Uint64
+	// RecoveredFromCheckpoint reports whether recovery loaded a state
+	// checkpoint (1) or replayed the full change log (0).
+	RecoveredFromCheckpoint atomic.Uint64
+	// RecoveryNanos is the duration of the last recovery (Table 4).
+	RecoveryNanos atomic.Int64
+}
+
+// QueryMetrics aggregates counters across a query's current tasks.
+type QueryMetrics struct {
+	Processed, Emitted, DroppedUncommitted, DroppedDuplicate uint64
+	Markers, MarkerBytes, MarkerBytesUnshrunk, Appends       uint64
+	CommitStalls, ChangeRecords, RecoveredChanges            uint64
+}
+
+// Add folds one task's metrics into the aggregate.
+func (q *QueryMetrics) Add(m *TaskMetrics) {
+	q.Processed += m.Processed.Load()
+	q.Emitted += m.Emitted.Load()
+	q.DroppedUncommitted += m.DroppedUncommitted.Load()
+	q.DroppedDuplicate += m.DroppedDuplicate.Load()
+	q.Markers += m.Markers.Load()
+	q.MarkerBytes += m.MarkerBytes.Load()
+	q.MarkerBytesUnshrunk += m.MarkerBytesUnshrunk.Load()
+	q.Appends += m.Appends.Load()
+	q.CommitStalls += m.CommitStalls.Load()
+	q.ChangeRecords += m.ChangeRecords.Load()
+	q.RecoveredChanges += m.RecoveredChanges.Load()
+}

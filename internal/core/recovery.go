@@ -1,0 +1,336 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"impeller/internal/sharedlog"
+)
+
+// recover restores a restarted task instance to a consistent point
+// before it processes new input (paper §3.3.2 for stateless stages,
+// §3.3.4 for stateful ones; §3.6/§5.1 for the baseline protocols).
+func (t *Task) recover(ctx context.Context) error {
+	switch t.env.Protocol {
+	case ProtoProgressMarker:
+		return t.recoverMarker(ctx)
+	case ProtoKafkaTxn:
+		return t.recoverTxn(ctx)
+	case ProtoAlignedCheckpoint:
+		return t.recoverAligned(ctx)
+	case ProtoUnsafe:
+		return t.recoverUnsafe(ctx)
+	default:
+		return fmt.Errorf("core: unknown protocol %v", t.env.Protocol)
+	}
+}
+
+// recoverMarker implements Impeller recovery: find the most recent
+// progress marker by reading the tail of the task-log substream, resume
+// input just past its InputEnd, restore the sequence counter, and for
+// stateful tasks restore state from the latest checkpoint plus a replay
+// of the remaining committed change-log ranges.
+func (t *Task) recoverMarker(ctx context.Context) error {
+	last, err := t.log.ReadPrev(TaskLogTag(t.ID), sharedlog.MaxLSN)
+	if err != nil {
+		return err
+	}
+	if last == nil {
+		return nil // fresh task: cursor 0, empty state
+	}
+	b, err := DecodeBatch(last.Payload)
+	if err != nil {
+		return err
+	}
+	m, err := DecodeMarker(b.Control)
+	if err != nil {
+		return err
+	}
+	if m.InputEnd != NoLSN {
+		t.cursor = m.InputEnd + 1
+	}
+	t.outSeq = m.SeqEnd
+	t.ckptEpoch = m.CheckpointEpoch
+
+	if !t.stage.Stateful {
+		return nil
+	}
+
+	// State restore: load the asynchronous checkpoint if one exists,
+	// then replay committed change-log ranges marker by marker from the
+	// checkpoint's coverage point to the most recent marker (paper §3.3.4,
+	// §3.5 "Accelerating state recovery").
+	var replayFrom LSN // read markers strictly after this LSN
+	if blob, ok := t.env.Checkpoints.Get(MarkerCkptKey(t.ID)); ok {
+		ck, err := decodeMarkerCheckpoint(blob)
+		if err != nil {
+			return err
+		}
+		if ck.CoveredLSN <= last.LSN {
+			if err := t.store.RestoreSnapshot(ck.State); err != nil {
+				return err
+			}
+			replayFrom = ck.CoveredLSN + 1
+			t.Metrics.RecoveredFromCheckpoint.Store(1)
+		}
+	}
+	if err := t.replayChangeLog(ctx, replayFrom, last.LSN); err != nil {
+		return err
+	}
+	t.restoreSeqFromStore()
+	return nil
+}
+
+// replayChangeLog walks progress markers in (from, lastMarker] order
+// and applies each marker's committed change-log range [ChangeFirst,
+// markerLSN] — uncommitted change records (from failed instances) fall
+// outside every range and are skipped (paper §3.3.4).
+func (t *Task) replayChangeLog(ctx context.Context, from, lastMarker LSN) error {
+	taskTag := TaskLogTag(t.ID)
+	changeTag := ChangeLogTag(t.ID)
+	markerAt := from
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		t.heartbeat() // recovery can be long; stay visibly alive
+		rec, err := t.log.ReadNext(taskTag, markerAt)
+		if err != nil || rec == nil || rec.LSN > lastMarker {
+			return err
+		}
+		markerAt = rec.LSN + 1
+		mb, err := DecodeBatch(rec.Payload)
+		if err != nil {
+			return err
+		}
+		if mb.Kind != KindMarker {
+			continue
+		}
+		m, err := DecodeMarker(mb.Control)
+		if err != nil {
+			return err
+		}
+		if m.ChangeFirst == NoLSN {
+			continue
+		}
+		pos := m.ChangeFirst
+		for pos <= rec.LSN {
+			crec, err := t.log.ReadNext(changeTag, pos)
+			if err != nil {
+				return err
+			}
+			if crec == nil || crec.LSN > rec.LSN {
+				break
+			}
+			pos = crec.LSN + 1
+			cb, err := DecodeBatch(crec.Payload)
+			if err != nil {
+				return err
+			}
+			if cb.Kind != KindChange {
+				continue
+			}
+			t.applyChangeBatch(cb)
+		}
+	}
+}
+
+func (t *Task) applyChangeBatch(cb *Batch) {
+	for i := range cb.Records {
+		r := &cb.Records[i]
+		value, deleted, err := DecodeChange(r.Value)
+		if err != nil {
+			continue // tolerate unknown change encodings
+		}
+		t.store.ApplyChange(string(r.Key), value, deleted)
+		t.Metrics.RecoveredChanges.Add(1)
+	}
+}
+
+// restoreSeqFromStore reloads duplicate-suppression state mirrored into
+// the state store by persistSeq.
+func (t *Task) restoreSeqFromStore() {
+	t.store.Range("_seq/", func(k string, v []byte) bool {
+		t.lastSeq[TaskID(k[len("_seq/"):])] = getUint64(v)
+		return true
+	})
+}
+
+// recoverTxn implements the Kafka Streams baseline's recovery: the last
+// committed offsets record gives the resume cursor and sequence
+// counter; stateful tasks replay change-log batches of committed epochs
+// only, resolving them with the commit/abort markers the coordinator
+// appended to the change-log substream.
+func (t *Task) recoverTxn(ctx context.Context) error {
+	if off, err := t.log.ReadPrev(OffsetStreamTag(t.ID), sharedlog.MaxLSN); err != nil {
+		return err
+	} else if off != nil {
+		b, err := DecodeBatch(off.Payload)
+		if err != nil {
+			return err
+		}
+		m, err := DecodeMarker(b.Control)
+		if err != nil {
+			return err
+		}
+		if m.InputEnd != NoLSN {
+			t.cursor = m.InputEnd + 1
+		}
+		t.outSeq = m.SeqEnd
+		t.epoch = b.Epoch
+	}
+	t.epoch++ // first transaction of the new instance
+
+	if !t.stage.Stateful {
+		return nil
+	}
+	// Replay the change log with epoch-level gating: change batches
+	// buffer per (instance, epoch) and apply when the epoch's commit
+	// marker arrives; batches whose epoch never commits are dropped.
+	type epochKey struct {
+		instance, epoch uint64
+	}
+	pending := make(map[epochKey][]*Batch)
+	changeTag := ChangeLogTag(t.ID)
+	var pos LSN
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		t.heartbeat()
+		rec, err := t.log.ReadNext(changeTag, pos)
+		if err != nil {
+			return err
+		}
+		if rec == nil {
+			break
+		}
+		pos = rec.LSN + 1
+		cb, err := DecodeBatch(rec.Payload)
+		if err != nil {
+			return err
+		}
+		switch cb.Kind {
+		case KindChange:
+			k := epochKey{cb.Instance, cb.Epoch}
+			pending[k] = append(pending[k], cb)
+		case KindTxnCommit:
+			k := epochKey{cb.Instance, cb.Epoch}
+			for _, batch := range pending[k] {
+				t.applyChangeBatch(batch)
+			}
+			delete(pending, k)
+		case KindTxnAbort:
+			delete(pending, epochKey{cb.Instance, cb.Epoch})
+		}
+	}
+	t.restoreSeqFromStore()
+	return nil
+}
+
+// recoverAligned restores the last completed aligned checkpoint: state
+// snapshot, per-producer barrier positions (re-reads below them are
+// suppressed), sequence counters, and the resume cursor (paper §5.1).
+func (t *Task) recoverAligned(_ context.Context) error {
+	if t.ckpt == nil {
+		return nil
+	}
+	epoch := t.ckpt.LastCompleted()
+	if epoch == 0 {
+		return nil // no completed checkpoint yet: restart from scratch
+	}
+	blob, ok := t.env.Checkpoints.Get(CkptKey(t.ID, epoch))
+	if !ok {
+		return fmt.Errorf("core: aligned checkpoint %d missing for %s", epoch, t.ID)
+	}
+	s, err := decodeAlignedSnapshot(blob)
+	if err != nil {
+		return err
+	}
+	if err := t.store.RestoreSnapshot(s.State); err != nil {
+		return err
+	}
+	t.outSeq = s.OutSeq
+	t.epoch = s.Epoch
+	for p, seq := range s.LastSeq {
+		t.lastSeq[p] = seq
+	}
+	cursor := sharedlog.MaxLSN
+	for p, lsn := range s.Barriers {
+		t.skipBelow[p] = lsn
+		if lsn < cursor {
+			cursor = lsn
+		}
+	}
+	if cursor != sharedlog.MaxLSN {
+		t.cursor = cursor + 1
+	}
+	t.Metrics.RecoveredFromCheckpoint.Store(1)
+	return nil
+}
+
+// recoverUnsafe has no recovery point: it resumes at the log tail and
+// replays the entire change log best-effort — the variant trades
+// exactly-once for speed (paper §5.3.4).
+func (t *Task) recoverUnsafe(ctx context.Context) error {
+	t.cursor = t.log.Tail()
+	// Sequence numbers restart; namespace them by instance so consumers
+	// never confuse new output with old (monotonicity preserved).
+	t.outSeq = t.Instance << 40
+	if !t.stage.Stateful {
+		return nil
+	}
+	changeTag := ChangeLogTag(t.ID)
+	var pos LSN
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		t.heartbeat()
+		rec, err := t.log.ReadNext(changeTag, pos)
+		if err != nil {
+			return err
+		}
+		if rec == nil {
+			return nil
+		}
+		pos = rec.LSN + 1
+		cb, err := DecodeBatch(rec.Payload)
+		if err != nil {
+			return err
+		}
+		if cb.Kind == KindChange {
+			t.applyChangeBatch(cb)
+		}
+	}
+}
+
+// markerCheckpoint is the blob the asynchronous checkpointer writes for
+// marker-mode tasks: a state snapshot plus the LSN of the progress
+// marker it covers (replay resumes after it).
+type markerCheckpoint struct {
+	Epoch      uint64
+	CoveredLSN LSN
+	State      []byte
+}
+
+func (c *markerCheckpoint) encode() []byte {
+	buf := make([]byte, 0, 16+len(c.State))
+	var tmp [8]byte
+	putUint64(tmp[:], c.Epoch)
+	buf = append(buf, tmp[:]...)
+	putUint64(tmp[:], uint64(c.CoveredLSN))
+	buf = append(buf, tmp[:]...)
+	return append(buf, c.State...)
+}
+
+func decodeMarkerCheckpoint(buf []byte) (*markerCheckpoint, error) {
+	if len(buf) < 16 {
+		return nil, ErrBadEncoding
+	}
+	return &markerCheckpoint{
+		Epoch:      getUint64(buf),
+		CoveredLSN: LSN(getUint64(buf[8:])),
+		State:      append([]byte(nil), buf[16:]...),
+	}, nil
+}

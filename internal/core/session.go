@@ -1,0 +1,190 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Session windows: per-key windows that grow with activity and close
+// after an inactivity gap — the third classic window type alongside the
+// tumbling and sliding windows of window.go. The paper's design carries
+// window metadata in record payloads (§3.5, "Supporting window
+// semantics"), so sessions need no engine support beyond state.
+
+// SessionMerger combines the accumulators of two sessions bridged by a
+// new record (Kafka Streams' session merger).
+type SessionMerger func(key, leftAcc, rightAcc []byte) []byte
+
+// sessionAggregate merges per-key sessions separated by less than Gap.
+type sessionAggregate struct {
+	name  string
+	gap   time.Duration
+	mode  WindowEmit
+	agg   Aggregator
+	merge SessionMerger
+	ctx   ProcContext
+}
+
+// SessionAggregate aggregates records into per-key sessions: a record
+// within Gap of an existing session extends it, merging sessions it
+// bridges with merge; emitted records are keyed WindowKey(start, end,
+// key) where end is the last event time plus the gap.
+func SessionAggregate(name string, gap time.Duration, mode WindowEmit, agg Aggregator, merge SessionMerger) Processor {
+	return &sessionAggregate{name: name, gap: gap, mode: mode, agg: agg, merge: merge}
+}
+
+func (s *sessionAggregate) Open(ctx ProcContext) error {
+	s.ctx = ctx
+	return nil
+}
+
+// state layout:
+//
+//	<name>/wm            -> watermark (8 bytes, little endian)
+//	<name>/s/<key>       -> sessions blob for key (see encodeSessions)
+//
+// Sessions per key are few (they merge), so one blob per key keeps
+// bookkeeping simple and change-logs compactly.
+type session struct {
+	Start, Last int64 // event-time bounds of observed records
+	Acc         []byte
+}
+
+func encodeSessions(ss []session) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(ss)))
+	for _, x := range ss {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(x.Start))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(x.Last))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(x.Acc)))
+		buf = append(buf, x.Acc...)
+	}
+	return buf
+}
+
+func decodeSessions(buf []byte) ([]session, error) {
+	if len(buf) < 4 {
+		return nil, ErrBadEncoding
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	p := 4
+	out := make([]session, 0, n)
+	for i := 0; i < n; i++ {
+		if p+20 > len(buf) {
+			return nil, ErrBadEncoding
+		}
+		x := session{
+			Start: int64(binary.LittleEndian.Uint64(buf[p:])),
+			Last:  int64(binary.LittleEndian.Uint64(buf[p+8:])),
+		}
+		l := int(binary.LittleEndian.Uint32(buf[p+16:]))
+		p += 20
+		if p+l > len(buf) {
+			return nil, ErrBadEncoding
+		}
+		x.Acc = append([]byte(nil), buf[p:p+l]...)
+		p += l
+		out = append(out, x)
+	}
+	if p != len(buf) {
+		return nil, ErrBadEncoding
+	}
+	return out, nil
+}
+
+func (s *sessionAggregate) Process(_ int, d Datum, emit Emit) error {
+	st := s.ctx.Store()
+	gap := s.gap.Microseconds()
+
+	wm := int64(-1)
+	if v, ok := st.Get(s.name + "/wm"); ok && len(v) == 8 {
+		wm = int64(binary.LittleEndian.Uint64(v))
+	}
+	if d.EventTime > wm {
+		wm = d.EventTime
+		st.Put(s.name+"/wm", binary.LittleEndian.AppendUint64(nil, uint64(wm)))
+	}
+
+	sk := s.name + "/s/" + string(d.Key)
+	var sessions []session
+	if blob, ok := st.Get(sk); ok {
+		var err error
+		if sessions, err = decodeSessions(blob); err != nil {
+			return fmt.Errorf("session %s: %w", s.name, err)
+		}
+	}
+
+	// Fold the record into every session it touches (within gap), then
+	// merge the touched sessions into one.
+	merged := session{Start: d.EventTime, Last: d.EventTime}
+	var rest []session
+	for _, x := range sessions {
+		if d.EventTime >= x.Start-gap && d.EventTime <= x.Last+gap {
+			if x.Start < merged.Start {
+				merged.Start = x.Start
+			}
+			if x.Last > merged.Last {
+				merged.Last = x.Last
+			}
+			if merged.Acc == nil {
+				merged.Acc = x.Acc
+			} else {
+				merged.Acc = s.merge(d.Key, x.Acc, merged.Acc)
+			}
+		} else {
+			rest = append(rest, x)
+		}
+	}
+	merged.Acc = s.agg(d.Key, d.Value, merged.Acc)
+	rest = append(rest, merged)
+	st.Put(sk, encodeSessions(rest))
+
+	if s.mode == EmitPerUpdate {
+		emit(0, Datum{
+			Key:       WindowKey(merged.Start, merged.Last+gap, d.Key),
+			Value:     merged.Acc,
+			EventTime: d.EventTime,
+		})
+	} else {
+		s.fireClosed(d.Key, wm, emit)
+	}
+	return nil
+}
+
+// fireClosed emits and removes this key's sessions whose inactivity gap
+// has fully elapsed before the watermark.
+//
+// Final-mode sessions fire lazily per key (on that key's next record):
+// watermark state is per task, but session state is per key, and firing
+// on access keeps the scan bounded. A session for an idle key fires on
+// the key's next arrival.
+func (s *sessionAggregate) fireClosed(key []byte, wm int64, emit Emit) {
+	st := s.ctx.Store()
+	gap := s.gap.Microseconds()
+	sk := s.name + "/s/" + string(key)
+	blob, ok := st.Get(sk)
+	if !ok {
+		return
+	}
+	sessions, err := decodeSessions(blob)
+	if err != nil {
+		return
+	}
+	var open []session
+	for _, x := range sessions {
+		if x.Last+gap <= wm {
+			emit(0, Datum{
+				Key:       WindowKey(x.Start, x.Last+gap, key),
+				Value:     x.Acc,
+				EventTime: x.Last + gap,
+			})
+		} else {
+			open = append(open, x)
+		}
+	}
+	if len(open) == 0 {
+		st.Delete(sk)
+	} else if len(open) != len(sessions) {
+		st.Put(sk, encodeSessions(open))
+	}
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func countAgg(_, _, acc []byte) []byte {
+	n := uint64(0)
+	if len(acc) == 8 {
+		n = binary.LittleEndian.Uint64(acc)
+	}
+	return binary.LittleEndian.AppendUint64(nil, n+1)
+}
+
+func sumMerge(_, a, b []byte) []byte {
+	var x, y uint64
+	if len(a) == 8 {
+		x = binary.LittleEndian.Uint64(a)
+	}
+	if len(b) == 8 {
+		y = binary.LittleEndian.Uint64(b)
+	}
+	return binary.LittleEndian.AppendUint64(nil, x+y)
+}
+
+func TestSessionAggregateExtendsWithinGap(t *testing.T) {
+	p := SessionAggregate("s", 10*time.Second, EmitPerUpdate, countAgg, sumMerge)
+	out := runOp(t, p, []struct {
+		port int
+		d    Datum
+	}{
+		in(0, Datum{Key: []byte("k"), EventTime: us(100 * time.Second)}),
+		in(0, Datum{Key: []byte("k"), EventTime: us(105 * time.Second)}), // within gap: same session
+		in(0, Datum{Key: []byte("k"), EventTime: us(130 * time.Second)}), // new session
+	})
+	if len(out) != 3 {
+		t.Fatalf("emissions = %d", len(out))
+	}
+	// Second update: session [100, 105+10) with count 2.
+	s, e, key, err := SplitWindowKey(out[1].d.Key)
+	if err != nil || string(key) != "k" {
+		t.Fatalf("key = %v %v", key, err)
+	}
+	if s != us(100*time.Second) || e != us(115*time.Second) {
+		t.Fatalf("session bounds = [%d, %d)", s, e)
+	}
+	if binary.LittleEndian.Uint64(out[1].d.Value) != 2 {
+		t.Fatalf("count = %d", binary.LittleEndian.Uint64(out[1].d.Value))
+	}
+	// Third record starts a fresh session with count 1.
+	s, _, _, _ = SplitWindowKey(out[2].d.Key)
+	if s != us(130*time.Second) {
+		t.Fatalf("new session start = %d", s)
+	}
+	if binary.LittleEndian.Uint64(out[2].d.Value) != 1 {
+		t.Fatal("new session inherited old count")
+	}
+}
+
+func TestSessionAggregateMergesBridgedSessions(t *testing.T) {
+	p := SessionAggregate("s", 10*time.Second, EmitPerUpdate, countAgg, sumMerge)
+	out := runOp(t, p, []struct {
+		port int
+		d    Datum
+	}{
+		in(0, Datum{Key: []byte("k"), EventTime: us(100 * time.Second)}), // session A
+		in(0, Datum{Key: []byte("k"), EventTime: us(125 * time.Second)}), // session B (gap 25s > 10s)
+		// Bridges A and B: within 10s of A's last (100) ... no, of B's
+		// start; 112 is within 10s of 105? A: [100,100], B: [125,125];
+		// 112 is within gap of neither... use 109: within A's gap
+		// [90,110] and not B. Then 118 bridges [100..109]+gap=119 and
+		// B's start-gap=115: yes both.
+		in(0, Datum{Key: []byte("k"), EventTime: us(109 * time.Second)}), // extends A
+		in(0, Datum{Key: []byte("k"), EventTime: us(118 * time.Second)}), // bridges A and B
+	})
+	last := out[len(out)-1]
+	s, e, _, err := SplitWindowKey(last.d.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != us(100*time.Second) || e != us(135*time.Second) {
+		t.Fatalf("merged bounds = [%d, %d), want [100s, 135s)", s, e)
+	}
+	// Counts: A had 2, B had 1, bridge adds 1 → 4.
+	if got := binary.LittleEndian.Uint64(last.d.Value); got != 4 {
+		t.Fatalf("merged count = %d, want 4", got)
+	}
+}
+
+func TestSessionAggregateEmitFinal(t *testing.T) {
+	p := SessionAggregate("s", 10*time.Second, EmitFinal, countAgg, sumMerge)
+	ctx := newFakeCtx()
+	if err := p.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var fired []Datum
+	emit := func(_ int, d Datum) { fired = append(fired, d) }
+	must := func(et time.Duration) {
+		if err := p.Process(0, Datum{Key: []byte("k"), EventTime: us(et)}, emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(100 * time.Second)
+	must(105 * time.Second)
+	if len(fired) != 0 {
+		t.Fatal("session fired while open")
+	}
+	// Watermark far past the gap: the closed session fires on the key's
+	// next record.
+	must(200 * time.Second)
+	if len(fired) != 1 {
+		t.Fatalf("fired = %d, want 1", len(fired))
+	}
+	s, e, _, _ := SplitWindowKey(fired[0].Key)
+	if s != us(100*time.Second) || e != us(115*time.Second) {
+		t.Fatalf("fired bounds [%d, %d)", s, e)
+	}
+	if binary.LittleEndian.Uint64(fired[0].Value) != 2 {
+		t.Fatalf("fired count = %d", binary.LittleEndian.Uint64(fired[0].Value))
+	}
+}
+
+func TestPropertySessionEncoding(t *testing.T) {
+	check := func(starts []int64, accs [][]byte) bool {
+		var ss []session
+		for i, st := range starts {
+			var acc []byte
+			if i < len(accs) {
+				acc = accs[i]
+			}
+			ss = append(ss, session{Start: st, Last: st + 5, Acc: acc})
+		}
+		out, err := decodeSessions(encodeSessions(ss))
+		if err != nil {
+			return false
+		}
+		if len(out) != len(ss) {
+			return false
+		}
+		for i := range ss {
+			if out[i].Start != ss[i].Start || out[i].Last != ss[i].Last {
+				return false
+			}
+			if string(out[i].Acc) != string(ss[i].Acc) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeSessions([]byte{1, 2}); err == nil {
+		t.Fatal("short blob decoded")
+	}
+}
+
+func TestStreamTableLeftJoin(t *testing.T) {
+	j := StreamTableLeftJoin("j", func(key, stream, table []byte) []byte {
+		if table == nil {
+			return append(append([]byte{}, stream...), []byte("+none")...)
+		}
+		return append(append([]byte{}, stream...), table...)
+	})
+	out := runOp(t, j, []struct {
+		port int
+		d    Datum
+	}{
+		in(0, d("k", "S0", 1)), // no row: joins with nil
+		in(1, d("k", "T1", 2)),
+		in(0, d("k", "S1", 3)), // joins with T1
+	})
+	if len(out) != 2 {
+		t.Fatalf("out = %+v", out)
+	}
+	if string(out[0].d.Value) != "S0+none" {
+		t.Fatalf("left-null join = %q", out[0].d.Value)
+	}
+	if string(out[1].d.Value) != "S1T1" {
+		t.Fatalf("matched join = %q", out[1].d.Value)
+	}
+}
+
+func TestStreamStreamLeftJoinMatchAndExpiry(t *testing.T) {
+	j := StreamStreamLeftJoin("j", 10*time.Second, func(key, l, r []byte) []byte {
+		if r == nil {
+			return append(append([]byte{}, l...), []byte("+nil")...)
+		}
+		return append(append([]byte{}, l...), r...)
+	})
+	out := runOp(t, j, []struct {
+		port int
+		d    Datum
+	}{
+		in(0, d("k", "L1", us(10*time.Second))), // will match
+		in(1, d("k", "R1", us(12*time.Second))),
+		in(0, d("k", "L2", us(40*time.Second))), // will expire unmatched
+		// Advance far past L2's window: eviction emits (L2, nil).
+		in(0, d("k", "L3", us(200*time.Second))),
+	})
+	var matched, leftNull bool
+	for _, o := range out {
+		switch string(o.d.Value) {
+		case "L1R1":
+			matched = true
+		case "L2+nil":
+			leftNull = true
+		case "L1+nil":
+			t.Fatal("matched left emitted a spurious null join")
+		}
+	}
+	if !matched || !leftNull {
+		t.Fatalf("matched=%v leftNull=%v (out=%d)", matched, leftNull, len(out))
+	}
+}
+
+func TestTableTableLeftJoin(t *testing.T) {
+	j := TableTableLeftJoin("j", func(key, l, r []byte) []byte {
+		if r == nil {
+			return append(append([]byte{}, l...), '?')
+		}
+		return append(append([]byte{}, l...), r...)
+	})
+	out := runOp(t, j, []struct {
+		port int
+		d    Datum
+	}{
+		in(1, d("k", "R1", 1)), // right first: no left row, no output
+		in(0, d("k", "L1", 2)), // left arrives: L1R1
+		in(1, Datum{Key: []byte("k"), Value: nil, EventTime: 3}), // right deleted: L1?
+	})
+	if len(out) != 2 || string(out[0].d.Value) != "L1R1" || string(out[1].d.Value) != "L1?" {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestMergeUnionsPorts(t *testing.T) {
+	p := Merge()
+	out := runOp(t, p, []struct {
+		port int
+		d    Datum
+	}{in(0, d("a", "1", 1)), in(1, d("b", "2", 2)), in(0, d("c", "3", 3))})
+	if len(out) != 3 {
+		t.Fatalf("out = %+v", out)
+	}
+	for _, o := range out {
+		if o.out != 0 {
+			t.Fatalf("merge emitted to port %d", o.out)
+		}
+	}
+}
+
+func TestPeekObservesWithoutChanging(t *testing.T) {
+	var seen []string
+	p := Peek(func(d Datum) { seen = append(seen, string(d.Value)) })
+	out := runOp(t, p, []struct {
+		port int
+		d    Datum
+	}{in(0, d("k", "v1", 1)), in(0, d("k", "v2", 2))})
+	if len(out) != 2 || len(seen) != 2 || seen[0] != "v1" {
+		t.Fatalf("out=%d seen=%v", len(out), seen)
+	}
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync"
+)
+
+// StateStore is a task's in-memory state (paper §4: "Impeller stores
+// state in memory for low access latency and high bandwidth"). Every
+// mutation is reported to an onChange hook, which the task runtime uses
+// to append change-log records; replaying those records (or restoring a
+// snapshot and replaying the suffix) reconstructs the store exactly.
+//
+// The store is single-writer (its owning task), but snapshots may be
+// taken concurrently by the asynchronous checkpointer, so access is
+// guarded.
+type StateStore struct {
+	mu   sync.RWMutex
+	data map[string][]byte
+	// keys mirrors data's keys in sorted order so prefix Range is
+	// O(log n + matches) — joins and window stores scan prefixes on
+	// every record, which would otherwise cost O(total keys) per call.
+	keys []string
+	// onChange, when set, observes every mutation before it applies.
+	onChange func(key string, value []byte, deleted bool)
+	// mutations counts applied changes; checkpoint bookkeeping uses it.
+	mutations uint64
+}
+
+// NewStateStore returns an empty store; onChange may be nil.
+func NewStateStore(onChange func(key string, value []byte, deleted bool)) *StateStore {
+	return &StateStore{data: make(map[string][]byte), onChange: onChange}
+}
+
+// insertKeyLocked adds key to the sorted index if absent from data.
+func (s *StateStore) insertKeyLocked(key string) {
+	if _, exists := s.data[key]; exists {
+		return
+	}
+	i := sort.SearchStrings(s.keys, key)
+	s.keys = append(s.keys, "")
+	copy(s.keys[i+1:], s.keys[i:])
+	s.keys[i] = key
+}
+
+// removeKeyLocked drops key from the sorted index if present in data.
+func (s *StateStore) removeKeyLocked(key string) {
+	if _, exists := s.data[key]; !exists {
+		return
+	}
+	i := sort.SearchStrings(s.keys, key)
+	if i < len(s.keys) && s.keys[i] == key {
+		s.keys = append(s.keys[:i], s.keys[i+1:]...)
+	}
+}
+
+// Get returns the value for key, or nil,false if absent. The returned
+// slice must not be modified.
+func (s *StateStore) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[key]
+	return v, ok
+}
+
+// Put stores value under key, logging the change.
+func (s *StateStore) Put(key string, value []byte) {
+	v := append([]byte(nil), value...)
+	if s.onChange != nil {
+		s.onChange(key, v, false)
+	}
+	s.mu.Lock()
+	s.insertKeyLocked(key)
+	s.data[key] = v
+	s.mutations++
+	s.mu.Unlock()
+}
+
+// Delete removes key, logging the change.
+func (s *StateStore) Delete(key string) {
+	if s.onChange != nil {
+		s.onChange(key, nil, true)
+	}
+	s.mu.Lock()
+	s.removeKeyLocked(key)
+	delete(s.data, key)
+	s.mutations++
+	s.mu.Unlock()
+}
+
+// Range calls fn for keys with the given prefix in sorted order until fn
+// returns false. Values must not be modified.
+func (s *StateStore) Range(prefix string, fn func(key string, value []byte) bool) {
+	s.mu.RLock()
+	start := sort.SearchStrings(s.keys, prefix)
+	var keys []string
+	for i := start; i < len(s.keys); i++ {
+		k := s.keys[i]
+		if len(k) < len(prefix) || k[:len(prefix)] != prefix {
+			break
+		}
+		keys = append(keys, k)
+	}
+	vals := make([][]byte, len(keys))
+	for i, k := range keys {
+		vals[i] = s.data[k]
+	}
+	s.mu.RUnlock()
+	for i, k := range keys {
+		if !fn(k, vals[i]) {
+			return
+		}
+	}
+}
+
+// Len reports the number of keys.
+func (s *StateStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Mutations reports how many changes have been applied since creation.
+func (s *StateStore) Mutations() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mutations
+}
+
+// ApplyChange applies one change-log record without re-logging it;
+// recovery replay uses it (paper §3.3.4).
+func (s *StateStore) ApplyChange(key string, value []byte, deleted bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if deleted {
+		s.removeKeyLocked(key)
+		delete(s.data, key)
+	} else {
+		s.insertKeyLocked(key)
+		s.data[key] = append([]byte(nil), value...)
+	}
+	s.mutations++
+}
+
+// Snapshot serializes the full store contents; the asynchronous
+// checkpointer writes this blob to the checkpoint store (paper §3.5).
+func (s *StateStore) Snapshot() []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.data))
+	size := 8
+	for k := range s.data {
+		keys = append(keys, k)
+		size += 4 + len(k) + 4 + len(s.data[k])
+	}
+	sort.Strings(keys)
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(keys)))
+	for _, k := range keys {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(k)))
+		buf = append(buf, k...)
+		v := s.data[k]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v)))
+		buf = append(buf, v...)
+	}
+	return buf
+}
+
+// RestoreSnapshot replaces the store contents with a snapshot produced
+// by Snapshot.
+func (s *StateStore) RestoreSnapshot(buf []byte) error {
+	if len(buf) < 8 {
+		return ErrBadEncoding
+	}
+	n := int(binary.LittleEndian.Uint64(buf))
+	p := 8
+	data := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		if p+4 > len(buf) {
+			return ErrBadEncoding
+		}
+		kl := int(binary.LittleEndian.Uint32(buf[p:]))
+		p += 4
+		if p+kl > len(buf) {
+			return ErrBadEncoding
+		}
+		k := string(buf[p : p+kl])
+		p += kl
+		if p+4 > len(buf) {
+			return ErrBadEncoding
+		}
+		vl := int(binary.LittleEndian.Uint32(buf[p:]))
+		p += 4
+		if p+vl > len(buf) {
+			return ErrBadEncoding
+		}
+		data[k] = append([]byte(nil), buf[p:p+vl]...)
+		p += vl
+	}
+	if p != len(buf) {
+		return ErrBadEncoding
+	}
+	keys := make([]string, 0, len(data))
+	for k := range data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s.mu.Lock()
+	s.data = data
+	s.keys = keys
+	s.mu.Unlock()
+	return nil
+}
+
+// change-log record encoding: 1-byte op + value bytes, stored in an
+// Envelope with Kind=KindChange and Key=state key.
+const (
+	changePut    byte = 1
+	changeDelete byte = 2
+)
+
+// EncodeChange builds the change-log value for a mutation.
+func EncodeChange(value []byte, deleted bool) []byte {
+	if deleted {
+		return []byte{changeDelete}
+	}
+	out := make([]byte, 1+len(value))
+	out[0] = changePut
+	copy(out[1:], value)
+	return out
+}
+
+// DecodeChange parses a change-log value.
+func DecodeChange(buf []byte) (value []byte, deleted bool, err error) {
+	if len(buf) == 0 {
+		return nil, false, ErrBadEncoding
+	}
+	switch buf[0] {
+	case changePut:
+		return buf[1:], false, nil
+	case changeDelete:
+		return nil, true, nil
+	default:
+		return nil, false, ErrBadEncoding
+	}
+}

@@ -1,0 +1,640 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"impeller/internal/sharedlog"
+)
+
+// DefaultFlushBytes is the output buffer size before a forced flush
+// (paper §5.3: 128 KiB chosen by sensitivity study).
+const DefaultFlushBytes = 128 << 10
+
+// DefaultFlushInterval bounds how long an output record may sit in the
+// in-memory batch buffer before being appended.
+const DefaultFlushInterval = 4 * time.Millisecond
+
+// ErrZombie reports that this task instance was fenced: a newer
+// instance exists and the shared log rejected its progress marker, so
+// the instance must terminate (paper §3.4).
+var ErrZombie = errors.New("core: task instance fenced as zombie")
+
+// Task executes one substream of a stage (paper §3.2): it repeatedly
+// reads records from its input substreams, processes them, writes
+// output records, and periodically records its progress using the
+// configured fault-tolerance protocol.
+type Task struct {
+	ID       TaskID
+	Instance uint64
+
+	stage *Stage
+	env   *Env
+	log   *sharedlog.Log
+
+	proc  Processor
+	store *StateStore
+
+	// --- input side (task goroutine only) ---
+	inputTags []sharedlog.Tag
+	tagPort   map[sharedlog.Tag]int
+	cursor    LSN
+	queue     []queuedBatch
+	tracker   commitTracker
+	lastSeq   map[TaskID]uint64
+	// skipBelow suppresses re-reads below a producer's checkpointed
+	// barrier position after an aligned-checkpoint recovery.
+	skipBelow map[TaskID]LSN
+	align     *alignState
+
+	// --- output side ---
+	outBufs   [][]*batchBuf // [port][substream]
+	changeBuf []Record
+	outSeq    uint64
+	epoch     uint64
+	appenders map[string]*appender
+
+	// progress accounting, updated from appender callbacks under
+	// progressMu (several appenders run concurrently); the task reads
+	// it after drain().
+	progressMu  sync.Mutex
+	outFirst    map[sharedlog.Tag]LSN
+	changeFirst LSN
+
+	activity    bool // anything consumed/produced since last commit
+	firstCommit bool // force one commit after recovery
+
+	// --- protocol machinery ---
+	txn              *TxnCoordinator
+	ckpt             *CkptCoordinator
+	pendingP2        <-chan struct{} // closed when txn phase 2 completes
+	txnTouchedSet    map[sharedlog.Tag]bool
+	changedThisEpoch bool
+	ckptEpoch        uint64 // latest checkpoint epoch known (marker mode)
+
+	heartbeat func()
+	Metrics   *TaskMetrics
+}
+
+type queuedBatch struct {
+	lsn   LSN
+	port  int
+	batch *Batch
+}
+
+// NewTask builds a task instance. The manager supplies the instance
+// number it registered in the log's metadata store.
+func NewTask(stage *Stage, sub int, instance uint64, env *Env, opts TaskOptions) *Task {
+	t := &Task{
+		ID:          TaskID(fmt.Sprintf("%s/%d", stage.Name, sub)),
+		Instance:    instance,
+		stage:       stage,
+		env:         env,
+		log:         env.Log,
+		proc:        stage.NewProcessor(),
+		lastSeq:     make(map[TaskID]uint64),
+		skipBelow:   make(map[TaskID]LSN),
+		appenders:   make(map[string]*appender),
+		outFirst:    make(map[sharedlog.Tag]LSN),
+		changeFirst: NoLSN,
+		firstCommit: true,
+		txn:         opts.Txn,
+		ckpt:        opts.Ckpt,
+		heartbeat:   opts.Heartbeat,
+		Metrics:     &TaskMetrics{},
+	}
+	if opts.Metrics != nil {
+		t.Metrics = opts.Metrics
+	}
+	if t.heartbeat == nil {
+		t.heartbeat = func() {}
+	}
+	t.store = NewStateStore(t.onStateChange)
+
+	t.inputTags = make([]sharedlog.Tag, 0, len(stage.Inputs))
+	t.tagPort = make(map[sharedlog.Tag]int, len(stage.Inputs))
+	for port, in := range stage.Inputs {
+		tag := DataTag(in, sub)
+		t.inputTags = append(t.inputTags, tag)
+		t.tagPort[tag] = port
+	}
+
+	t.outBufs = make([][]*batchBuf, len(stage.Outputs))
+	for i, out := range stage.Outputs {
+		t.outBufs[i] = make([]*batchBuf, out.Partitions)
+		for p := range t.outBufs[i] {
+			t.outBufs[i][p] = &batchBuf{}
+		}
+	}
+
+	switch env.Protocol {
+	case ProtoProgressMarker:
+		// A task may read several input substreams; committed ranges
+		// are resolved against the first input tag for single-input
+		// stages and per-tag for joins. One tracker per tag would be
+		// fully general; markers carry OutFirst per tag, and a task's
+		// tags are disjoint, so a combined tracker keyed by tag works:
+		// we use a multiTagTracker wrapping one markerTracker per tag.
+		t.tracker = newMultiTagMarkerTracker(t.inputTags)
+	case ProtoKafkaTxn:
+		t.tracker = newTxnTracker()
+	default:
+		t.tracker = openTracker{}
+	}
+	if env.Protocol == ProtoAlignedCheckpoint {
+		t.align = newAlignState(stage)
+	}
+	return t
+}
+
+// TaskOptions carries optional manager-provided wiring.
+type TaskOptions struct {
+	Txn       *TxnCoordinator
+	Ckpt      *CkptCoordinator
+	Heartbeat func()
+	Metrics   *TaskMetrics
+}
+
+// multiTagMarkerTracker dispatches classification to a per-input-tag
+// markerTracker. A data batch belongs to exactly one of the task's
+// input tags; a marker may address several of them.
+type multiTagMarkerTracker struct {
+	byTag map[sharedlog.Tag]*markerTracker
+	tags  []sharedlog.Tag
+}
+
+func newMultiTagMarkerTracker(tags []sharedlog.Tag) *multiTagMarkerTracker {
+	m := &multiTagMarkerTracker{byTag: make(map[sharedlog.Tag]*markerTracker, len(tags)), tags: tags}
+	for _, tag := range tags {
+		m.byTag[tag] = newMarkerTracker(tag)
+	}
+	return m
+}
+
+func (m *multiTagMarkerTracker) observeControl(b *Batch, lsn LSN) error {
+	for _, t := range m.byTag {
+		if err := t.observeControl(b, lsn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// classifyTagged classifies a batch that arrived via tag.
+func (m *multiTagMarkerTracker) classifyTagged(tag sharedlog.Tag, b *Batch, lsn LSN) classification {
+	t := m.byTag[tag]
+	if t == nil {
+		return classUnknown
+	}
+	return t.classify(b, lsn)
+}
+
+func (m *multiTagMarkerTracker) observe(b *Batch, lsn LSN) error { return m.observeControl(b, lsn) }
+
+// observeControl/classify satisfy commitTracker; classify uses the
+// first tag (single-input fast path). The task runtime calls
+// classifyTagged directly when it knows the arrival tag.
+func (m *multiTagMarkerTracker) classify(b *Batch, lsn LSN) classification {
+	return m.classifyTagged(m.tags[0], b, lsn)
+}
+
+// batchBuf accumulates records destined for one output substream.
+type batchBuf struct {
+	records []Record
+	bytes   int
+}
+
+func (b *batchBuf) add(r Record) {
+	b.records = append(b.records, r)
+	b.bytes += 16 + len(r.Key) + len(r.Value)
+}
+
+func (b *batchBuf) take() []Record {
+	out := b.records
+	b.records = nil
+	b.bytes = 0
+	return out
+}
+
+// --- ProcContext ---
+
+// Store implements ProcContext.
+func (t *Task) Store() *StateStore { return t.store }
+
+// TaskID implements ProcContext.
+func (t *Task) TaskID() TaskID { return t.ID }
+
+// Substream implements ProcContext.
+func (t *Task) Substream() int { return t.tagPort[t.inputTags[0]] }
+
+// onStateChange captures a state mutation into the change-log buffer.
+// Only stateful stages under change-log protocols persist changes;
+// aligned checkpoints persist state via snapshots instead.
+func (t *Task) onStateChange(key string, value []byte, deleted bool) {
+	if !t.stage.Stateful {
+		return
+	}
+	if t.env.Protocol == ProtoAlignedCheckpoint {
+		return
+	}
+	t.outSeq++
+	t.changeBuf = append(t.changeBuf, Record{
+		Seq:   t.outSeq,
+		Key:   []byte(key),
+		Value: EncodeChange(value, deleted),
+	})
+	t.Metrics.ChangeRecords.Add(1)
+	t.activity = true
+	t.changedThisEpoch = true
+}
+
+// Run recovers the task's position and state, then processes input
+// until ctx is cancelled or the instance is fenced. It always returns a
+// non-nil error: ctx.Err() on clean shutdown, ErrZombie when fenced.
+func (t *Task) Run(ctx context.Context) error {
+	defer t.closeAppenders()
+	recoverStart := time.Now()
+	if err := t.recover(ctx); err != nil {
+		return fmt.Errorf("task %s: recover: %w", t.ID, err)
+	}
+	t.Metrics.RecoveryNanos.Store(time.Since(recoverStart).Nanoseconds())
+	if err := t.proc.Open(t); err != nil {
+		return fmt.Errorf("task %s: open: %w", t.ID, err)
+	}
+
+	clock := t.env.Clock
+	nextFlush := clock.Now().Add(DefaultFlushInterval)
+	nextCommit := clock.Now().Add(t.env.CommitInterval)
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		t.heartbeat()
+
+		now := clock.Now()
+		deadline := nextFlush
+		if nextCommit.Before(deadline) {
+			deadline = nextCommit
+		}
+		if wait := deadline.Sub(now); wait > 0 {
+			rctx, cancel := context.WithTimeout(ctx, wait)
+			rec, err := t.log.ReadNextAnyBlocking(rctx, t.inputTags, t.cursor)
+			cancel()
+			switch {
+			case err == nil && rec != nil:
+				if err := t.ingest(rec); err != nil {
+					return fmt.Errorf("task %s: %w", t.ID, err)
+				}
+			case errors.Is(err, context.DeadlineExceeded):
+				// fall through to flush/commit
+			case errors.Is(err, context.Canceled):
+				return ctx.Err()
+			case errors.Is(err, sharedlog.ErrTrimmed):
+				// Our resume point was garbage-collected along with
+				// everything we had consumed; skip to the horizon.
+				t.cursor = t.log.TrimHorizon()
+			case err != nil:
+				return fmt.Errorf("task %s: read: %w", t.ID, err)
+			}
+		}
+
+		now = clock.Now()
+		if !now.Before(nextFlush) {
+			t.flushOutputs()
+			nextFlush = now.Add(DefaultFlushInterval)
+		}
+		if !now.Before(nextCommit) {
+			if err := t.commit(ctx); err != nil {
+				return fmt.Errorf("task %s: commit: %w", t.ID, err)
+			}
+			nextCommit = now.Add(t.env.CommitInterval)
+		}
+	}
+}
+
+// ingest handles one shared-log record: control records update the
+// tracker (or barrier alignment), data records enter the queue, and
+// then the queue drains as far as classification allows (paper §3.3.3).
+func (t *Task) ingest(rec *sharedlog.Record) error {
+	t.cursor = rec.LSN + 1
+	b, err := DecodeBatch(rec.Payload)
+	if err != nil {
+		return err
+	}
+	port := t.portFor(rec)
+
+	if b.Kind.isControl() {
+		if b.Kind == KindBarrier && t.align != nil {
+			return t.onBarrier(b, rec.LSN)
+		}
+		if err := t.observeControl(b, rec.LSN); err != nil {
+			return err
+		}
+		return t.drainQueue()
+	}
+
+	switch b.Kind {
+	case KindSource, KindData:
+		if t.align != nil && t.align.blocked(b.Producer) {
+			// Aligned checkpoint in progress: post-barrier records from
+			// producers whose barrier already arrived wait out the
+			// alignment (Flink's channel blocking).
+			t.align.buffer(queuedBatch{lsn: rec.LSN, port: port, batch: b})
+			return nil
+		}
+		t.queue = append(t.queue, queuedBatch{lsn: rec.LSN, port: port, batch: b})
+		t.Metrics.Buffered.Add(uint64(len(b.Records)))
+		return t.drainQueue()
+	default:
+		// Change-log, offset, and txn-log records carry our own tags
+		// only; another task's never reach us. Ignore defensively.
+		return nil
+	}
+}
+
+func (t *Task) observeControl(b *Batch, lsn LSN) error {
+	if mt, ok := t.tracker.(*multiTagMarkerTracker); ok {
+		return mt.observe(b, lsn)
+	}
+	return t.tracker.observeControl(b, lsn)
+}
+
+func (t *Task) classify(q queuedBatch) classification {
+	if mt, ok := t.tracker.(*multiTagMarkerTracker); ok {
+		return mt.classifyTagged(t.inputTags[q.port], q.batch, q.lsn)
+	}
+	return t.tracker.classify(q.batch, q.lsn)
+}
+
+// portFor maps a log record to the input port whose tag it carries.
+func (t *Task) portFor(rec *sharedlog.Record) int {
+	for _, tag := range rec.Tags {
+		if p, ok := t.tagPort[tag]; ok {
+			return p
+		}
+	}
+	return 0
+}
+
+// drainQueue repeatedly examines the head of the queue: committed
+// batches are processed, uncommitted ones discarded, and the first
+// unknown batch stops the drain (paper §3.3.3, Figure 5).
+func (t *Task) drainQueue() error {
+	for len(t.queue) > 0 {
+		head := t.queue[0]
+		switch t.classify(head) {
+		case classCommitted:
+			t.queue = t.queue[1:]
+			if err := t.processBatch(head); err != nil {
+				return err
+			}
+		case classUncommitted:
+			t.queue = t.queue[1:]
+			t.Metrics.DroppedUncommitted.Add(uint64(len(head.batch.Records)))
+			t.activity = true
+		case classUnknown:
+			return nil
+		}
+	}
+	return nil
+}
+
+// inputEnd is the highest LSN such that every input record at or below
+// it has been consumed (processed or discarded); progress markers
+// record it and recovery resumes just past it.
+func (t *Task) inputEnd() LSN {
+	if len(t.queue) > 0 {
+		return t.queue[0].lsn - 1
+	}
+	if t.align != nil {
+		if l, ok := t.align.earliestBuffered(); ok {
+			return l - 1
+		}
+	}
+	if t.cursor == 0 {
+		return NoLSN
+	}
+	return t.cursor - 1
+}
+
+// processBatch runs the committed batch's records through duplicate
+// suppression and the processor.
+func (t *Task) processBatch(q queuedBatch) error {
+	// Long drains (e.g. a join scanning large buffers) must not look
+	// like a dead task to the manager.
+	t.heartbeat()
+	b := q.batch
+	if skip, ok := t.skipBelow[b.Producer]; ok && q.lsn <= skip {
+		// Already reflected in the restored aligned checkpoint.
+		t.Metrics.DroppedDuplicate.Add(uint64(len(b.Records)))
+		return nil
+	}
+	for i := range b.Records {
+		r := &b.Records[i]
+		if r.Seq <= t.lastSeq[b.Producer] {
+			t.Metrics.DroppedDuplicate.Add(1)
+			continue
+		}
+		t.lastSeq[b.Producer] = r.Seq
+		d := Datum{Key: r.Key, Value: r.Value, EventTime: r.EventTime}
+		if err := t.invokeProcessor(q.port, d); err != nil {
+			return err
+		}
+		t.Metrics.Processed.Add(1)
+	}
+	t.persistSeq(b.Producer)
+	t.activity = true
+	return nil
+}
+
+func (t *Task) invokeProcessor(port int, d Datum) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = RecoverChainError(r)
+		}
+	}()
+	return t.proc.Process(port, d, t.emit)
+}
+
+// persistSeq mirrors duplicate-suppression state into the state store
+// for stateful tasks so it survives recovery with the change log (or
+// the aligned snapshot). Stateless marker-mode tasks keep it in memory
+// only: their gating already excludes cross-instance duplicates.
+func (t *Task) persistSeq(p TaskID) {
+	if !t.stage.Stateful && t.env.Protocol != ProtoAlignedCheckpoint {
+		return
+	}
+	var buf [8]byte
+	putUint64(buf[:], t.lastSeq[p])
+	t.store.Put("_seq/"+string(p), buf[:])
+}
+
+// emit buffers one output record for the given port, flushing if the
+// buffer reaches DefaultFlushBytes.
+func (t *Task) emit(out int, d Datum) {
+	spec := t.stage.Outputs[out]
+	t.outSeq++
+	r := Record{Seq: t.outSeq, EventTime: d.EventTime, Key: d.Key, Value: d.Value}
+	t.Metrics.Emitted.Add(1)
+	t.activity = true
+	if spec.Broadcast {
+		// One multi-tag append reaches every substream atomically; park
+		// it in substream 0's buffer and tag at flush time.
+		buf := t.outBufs[out][0]
+		buf.add(r)
+		if buf.bytes >= DefaultFlushBytes {
+			t.flushBuf(out, 0)
+		}
+		return
+	}
+	sub := spec.substreamFor(d.Key)
+	buf := t.outBufs[out][sub]
+	buf.add(r)
+	if buf.bytes >= DefaultFlushBytes {
+		t.flushBuf(out, sub)
+	}
+}
+
+// flushOutputs flushes every non-empty output and change-log buffer.
+func (t *Task) flushOutputs() {
+	for out := range t.outBufs {
+		for sub := range t.outBufs[out] {
+			if len(t.outBufs[out][sub].records) > 0 {
+				t.flushBuf(out, sub)
+			}
+		}
+	}
+	t.flushChanges()
+}
+
+// flushBuf appends one output substream's buffered records as a batch.
+func (t *Task) flushBuf(out, sub int) {
+	spec := t.stage.Outputs[out]
+	buf := t.outBufs[out][sub]
+	records := buf.take()
+	if len(records) == 0 {
+		return
+	}
+	batch := &Batch{
+		Kind:     KindData,
+		Producer: t.ID,
+		Instance: t.Instance,
+		Epoch:    t.dataEpoch(),
+		Records:  records,
+	}
+	var tags []sharedlog.Tag
+	if spec.Broadcast {
+		tags = spec.Tags()
+	} else {
+		tags = []sharedlog.Tag{DataTag(spec.Stream, sub)}
+	}
+	if t.env.Protocol == ProtoKafkaTxn {
+		t.txnRegister(tags)
+	}
+	key := appenderKey(tags)
+	t.submitAppend(key, tags, batch.Encode(), func(lsn LSN, err error) {
+		if err != nil {
+			return
+		}
+		t.progressMu.Lock()
+		for _, tag := range tags {
+			if cur, ok := t.outFirst[tag]; !ok || lsn < cur {
+				t.outFirst[tag] = lsn
+			}
+		}
+		t.progressMu.Unlock()
+	})
+}
+
+// flushChanges appends buffered change-log records.
+func (t *Task) flushChanges() {
+	if len(t.changeBuf) == 0 {
+		return
+	}
+	records := t.changeBuf
+	t.changeBuf = nil
+	batch := &Batch{
+		Kind:     KindChange,
+		Producer: t.ID,
+		Instance: t.Instance,
+		Epoch:    t.dataEpoch(),
+		Records:  records,
+	}
+	tag := ChangeLogTag(t.ID)
+	tags := []sharedlog.Tag{tag}
+	t.submitAppend(string(tag), tags, batch.Encode(), func(lsn LSN, err error) {
+		if err != nil {
+			return
+		}
+		t.progressMu.Lock()
+		if t.changeFirst == NoLSN || lsn < t.changeFirst {
+			t.changeFirst = lsn
+		}
+		t.progressMu.Unlock()
+	})
+}
+
+// dataEpoch is the commit epoch stamped on data batches: the open
+// transaction under the Kafka protocol, zero otherwise.
+func (t *Task) dataEpoch() uint64 {
+	if t.env.Protocol == ProtoKafkaTxn {
+		return t.epoch
+	}
+	return 0
+}
+
+func appenderKey(tags []sharedlog.Tag) string {
+	if len(tags) == 1 {
+		return string(tags[0])
+	}
+	key := "multi"
+	for _, t := range tags {
+		key += "|" + string(t)
+	}
+	return key
+}
+
+func (t *Task) submitAppend(key string, tags []sharedlog.Tag, payload []byte, onDone func(LSN, error)) {
+	a := t.appenders[key]
+	if a == nil {
+		a = newAppender(t.log, 64)
+		t.appenders[key] = a
+	}
+	t.Metrics.Appends.Add(1)
+	a.submit(appendJob{tags: tags, payload: payload, onDone: onDone})
+}
+
+// drainAppends waits for all in-flight appends; a commit record must
+// follow everything it covers in the log's total order.
+func (t *Task) drainAppends() error {
+	for _, a := range t.appenders {
+		if err := a.drain(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Task) closeAppenders() {
+	for _, a := range t.appenders {
+		a.close()
+	}
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getUint64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8 && i < len(b); i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

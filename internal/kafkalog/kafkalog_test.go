@@ -1,0 +1,482 @@
+package kafkalog
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"impeller/internal/sim"
+)
+
+func newTestCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c := NewCluster(Config{})
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestCreateTopicValidation(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.CreateTopic("t", 0); err == nil {
+		t.Fatal("zero partitions accepted")
+	}
+	if err := c.CreateTopic("t", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("t", 3); err != nil {
+		t.Fatalf("idempotent create failed: %v", err)
+	}
+	if err := c.CreateTopic("t", 4); err == nil {
+		t.Fatal("partition count change accepted")
+	}
+	if n := c.Partitions("t"); n != 3 {
+		t.Fatalf("Partitions = %d", n)
+	}
+}
+
+func TestProduceFetchRoundTrip(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.CreateTopic("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	off, err := c.Produce("t", 1, []byte("k"), []byte("v"))
+	if err != nil || off != 0 {
+		t.Fatalf("Produce = %d, %v", off, err)
+	}
+	m, err := c.Fetch("t", 1, 0, ReadUncommitted)
+	if err != nil || m == nil {
+		t.Fatalf("Fetch = %v, %v", m, err)
+	}
+	if string(m.Key) != "k" || string(m.Value) != "v" {
+		t.Fatalf("message = %q/%q", m.Key, m.Value)
+	}
+	if m2, _ := c.Fetch("t", 0, 0, ReadUncommitted); m2 != nil {
+		t.Fatal("other partition leaked message")
+	}
+	if _, err := c.Fetch("nope", 0, 0, ReadUncommitted); err != ErrNoTopic {
+		t.Fatalf("unknown topic err = %v", err)
+	}
+}
+
+func TestPartitionsIndependentlyOrdered(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.CreateTopic("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if off, _ := c.Produce("t", 0, nil, []byte{byte(i)}); off != Offset(i) {
+			t.Fatalf("partition 0 offset = %d, want %d", off, i)
+		}
+	}
+	if off, _ := c.Produce("t", 1, nil, nil); off != 0 {
+		t.Fatalf("partition 1 first offset = %d, want 0", off)
+	}
+}
+
+func TestFetchBlockingWakes(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	got := make(chan *Message, 1)
+	go func() {
+		m, err := c.FetchBlocking(ctx, "t", 0, 0, ReadUncommitted)
+		if err != nil {
+			t.Errorf("FetchBlocking: %v", err)
+		}
+		got <- m
+	}()
+	time.Sleep(5 * time.Millisecond)
+	if _, err := c.Produce("t", 0, nil, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m == nil || string(m.Value) != "x" {
+			t.Fatalf("got %v", m)
+		}
+	case <-ctx.Done():
+		t.Fatal("blocked fetch never woke")
+	}
+}
+
+func TestConsumerGroupOffsets(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	if off := c.FetchOffset("g", "t", 0); off != 0 {
+		t.Fatalf("fresh group offset = %d", off)
+	}
+	if err := c.CommitOffsets("g", "t", 0, 42); err != nil {
+		t.Fatal(err)
+	}
+	if off := c.FetchOffset("g", "t", 0); off != 42 {
+		t.Fatalf("offset = %d, want 42", off)
+	}
+	if off := c.FetchOffset("other", "t", 0); off != 0 {
+		t.Fatalf("group isolation broken: %d", off)
+	}
+}
+
+func TestTransactionCommitVisibility(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.CreateTopic("out", 2); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.InitProducer("task-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Send("out", 0, nil, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Send("out", 1, nil, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Uncommitted data visible only to read-uncommitted consumers.
+	if m, _ := c.Fetch("out", 0, 0, ReadCommitted); m != nil {
+		t.Fatal("read-committed saw pending message")
+	}
+	if m, _ := c.Fetch("out", 0, 0, ReadUncommitted); m == nil {
+		t.Fatal("read-uncommitted missed pending message")
+	}
+
+	appends, err := p.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pre-commit + 2 partition markers + final commit = 4 appends.
+	if appends != 4 {
+		t.Fatalf("commit issued %d appends, want 4", appends)
+	}
+	for part := 0; part < 2; part++ {
+		m, err := c.Fetch("out", part, 0, ReadCommitted)
+		if err != nil || m == nil {
+			t.Fatalf("partition %d after commit: %v, %v", part, m, err)
+		}
+	}
+}
+
+func TestTransactionAbortHidesMessages(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.CreateTopic("out", 1); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := c.InitProducer("task-1")
+	if err := p.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Send("out", 0, nil, []byte("dead")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := c.Fetch("out", 0, 0, ReadCommitted); m != nil {
+		t.Fatalf("aborted message visible: %v", m)
+	}
+	// A following committed produce is visible and skips the aborted one.
+	if _, err := c.Produce("out", 0, nil, []byte("live")); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := c.Fetch("out", 0, 0, ReadCommitted)
+	if m == nil || string(m.Value) != "live" {
+		t.Fatalf("got %v, want live message", m)
+	}
+}
+
+func TestLastStableOffsetBlocksReadCommitted(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.CreateTopic("out", 1); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := c.InitProducer("txn")
+	if err := p.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Send("out", 0, nil, []byte("pending")); err != nil {
+		t.Fatal(err)
+	}
+	// A later non-transactional message must NOT be readable before the
+	// open transaction resolves (LSO semantics).
+	if _, err := c.Produce("out", 0, nil, []byte("later")); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := c.Fetch("out", 0, 0, ReadCommitted); m != nil {
+		t.Fatalf("read past LSO: %v", m)
+	}
+	if _, err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := c.Fetch("out", 0, 0, ReadCommitted)
+	if m == nil || string(m.Value) != "pending" {
+		t.Fatalf("first committed = %v", m)
+	}
+}
+
+func TestZombieProducerFenced(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.CreateTopic("out", 1); err != nil {
+		t.Fatal(err)
+	}
+	old, _ := c.InitProducer("task-1")
+	if err := old.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := old.Send("out", 0, nil, []byte("z1")); err != nil {
+		t.Fatal(err)
+	}
+	// Task manager restarts the task under the same transactional id.
+	fresh, _ := c.InitProducer("task-1")
+	if err := fresh.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	// The zombie's every subsequent operation fails.
+	if _, err := old.Send("out", 0, nil, []byte("z2")); err != ErrFenced {
+		t.Fatalf("zombie send err = %v, want ErrFenced", err)
+	}
+	if _, err := old.Commit(); err != ErrFenced {
+		t.Fatalf("zombie commit err = %v, want ErrFenced", err)
+	}
+	if _, err := fresh.Send("out", 0, nil, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Only the fresh instance's message is committed.
+	m, _ := c.Fetch("out", 0, 0, ReadCommitted)
+	if m == nil || string(m.Value) != "ok" {
+		t.Fatalf("committed = %v", m)
+	}
+}
+
+func TestSendOffsetsCommitAtomicity(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.CreateTopic("out", 1); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := c.InitProducer("t1")
+	if err := p.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Send("out", 0, nil, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SendOffsets("g", "in", 0, 17); err != nil {
+		t.Fatal(err)
+	}
+	if off := c.FetchOffset("g", "in", 0); off != 0 {
+		t.Fatal("offset committed before transaction commit")
+	}
+	if _, err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if off := c.FetchOffset("g", "in", 0); off != 17 {
+		t.Fatalf("offset after commit = %d, want 17", off)
+	}
+}
+
+func TestTxnStateErrors(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.CreateTopic("out", 1); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := c.InitProducer("t")
+	if _, err := p.Send("out", 0, nil, nil); err != ErrNoTransaction {
+		t.Fatalf("send outside txn err = %v", err)
+	}
+	if _, err := p.Commit(); err != ErrNoTransaction {
+		t.Fatalf("commit outside txn err = %v", err)
+	}
+	if err := p.Abort(); err != ErrNoTransaction {
+		t.Fatalf("abort outside txn err = %v", err)
+	}
+	if err := p.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Begin(); err != ErrTxnInProgress {
+		t.Fatalf("double begin err = %v", err)
+	}
+}
+
+func TestCommitAppendCountGrowsWithPartitions(t *testing.T) {
+	// The crux of §3.6: Kafka's commit cost scales with touched
+	// partitions, while a progress marker is always one append.
+	for _, parts := range []int{1, 4, 8} {
+		c := NewCluster(Config{})
+		if err := c.CreateTopic("out", parts); err != nil {
+			t.Fatal(err)
+		}
+		p, _ := c.InitProducer("t")
+		if err := p.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < parts; i++ {
+			if _, err := p.Send("out", i, nil, []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		appends, err := p.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := parts + 2; appends != want {
+			t.Fatalf("parts=%d: appends = %d, want %d", parts, appends, want)
+		}
+		c.Close()
+	}
+}
+
+func TestCoordinatorLatencyCharged(t *testing.T) {
+	c := NewCluster(Config{CoordinatorLatency: sim.FixedLatency(3 * time.Millisecond)})
+	defer c.Close()
+	if err := c.CreateTopic("out", 1); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := c.InitProducer("t") // 1 coordinator RPC
+	if err := p.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := p.Send("out", 0, nil, nil); err != nil { // registration RPC
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 3*time.Millisecond {
+		t.Fatalf("registration took %v, want >= 3ms", d)
+	}
+}
+
+func TestTxnLogRecordsProtocolSteps(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.CreateTopic("out", 1); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := c.InitProducer("t")
+	if err := p.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Send("out", 0, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// begin + add-partitions + prepare-commit + commit.
+	if n := c.TxnLogLen(); n != 4 {
+		t.Fatalf("txn log entries = %d, want 4", n)
+	}
+}
+
+func TestClosedClusterErrors(t *testing.T) {
+	c := NewCluster(Config{})
+	if err := c.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.Produce("t", 0, nil, nil); err != ErrClusterClosed {
+		t.Fatalf("produce err = %v", err)
+	}
+	if _, err := c.InitProducer("x"); err != ErrClusterClosed {
+		t.Fatalf("init err = %v", err)
+	}
+}
+
+func TestConcurrentProducersPerPartitionOrder(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.CreateTopic("t", 4); err != nil {
+		t.Fatal(err)
+	}
+	const per = 100
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := c.Produce("t", w, nil, []byte{byte(i)}); err != nil {
+					t.Errorf("produce: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < 4; w++ {
+		for i := 0; i < per; i++ {
+			m, err := c.Fetch("t", w, Offset(i), ReadUncommitted)
+			if err != nil || m == nil || int(m.Value[0]) != i {
+				t.Fatalf("partition %d offset %d: %v %v", w, i, m, err)
+			}
+		}
+	}
+}
+
+// Property: under read-committed isolation, consumers observe exactly the
+// messages of committed transactions, in per-partition order.
+func TestPropertyReadCommittedExactness(t *testing.T) {
+	check := func(plan []bool) bool {
+		c := NewCluster(Config{})
+		defer c.Close()
+		if err := c.CreateTopic("t", 1); err != nil {
+			return false
+		}
+		var want []string
+		for i, commit := range plan {
+			p, err := c.InitProducer(fmt.Sprintf("p%d", i))
+			if err != nil {
+				return false
+			}
+			if err := p.Begin(); err != nil {
+				return false
+			}
+			v := fmt.Sprintf("v%d", i)
+			if _, err := p.Send("t", 0, nil, []byte(v)); err != nil {
+				return false
+			}
+			if commit {
+				if _, err := p.Commit(); err != nil {
+					return false
+				}
+				want = append(want, v)
+			} else if err := p.Abort(); err != nil {
+				return false
+			}
+		}
+		var got []string
+		var off Offset
+		for {
+			m, err := c.Fetch("t", 0, off, ReadCommitted)
+			if err != nil {
+				return false
+			}
+			if m == nil {
+				break
+			}
+			got = append(got, string(m.Value))
+			off = m.Offset + 1
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

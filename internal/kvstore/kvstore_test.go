@@ -1,0 +1,266 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"impeller/internal/sim"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	s := Open(Config{})
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("missing key present")
+	}
+	if err := s.Put("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get("k"); !ok || string(v) != "v1" {
+		t.Fatalf("Get = %q,%v", v, ok)
+	}
+	if err := s.Put("k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get("k"); string(v) != "v2" {
+		t.Fatalf("overwrite failed: %q", v)
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("deleted key present")
+	}
+	if err := s.Delete("never"); err != nil {
+		t.Fatalf("deleting missing key: %v", err)
+	}
+}
+
+func TestValueCopyIsolation(t *testing.T) {
+	s := Open(Config{})
+	buf := []byte("orig")
+	if err := s.Put("k", buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X'
+	v, _ := s.Get("k")
+	if string(v) != "orig" {
+		t.Fatalf("store aliased caller buffer: %q", v)
+	}
+	v[0] = 'Y'
+	v2, _ := s.Get("k")
+	if string(v2) != "orig" {
+		t.Fatalf("Get returned aliased value: %q", v2)
+	}
+}
+
+func TestRangePrefix(t *testing.T) {
+	s := Open(Config{})
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fmt.Sprintf("ckpt/task1/%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put("other/x", nil); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	s.Range("ckpt/task1/", func(k string, v []byte) bool {
+		n++
+		return true
+	})
+	if n != 5 {
+		t.Fatalf("Range matched %d keys, want 5", n)
+	}
+	// Early stop.
+	n = 0
+	s.Range("ckpt/", func(k string, v []byte) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Fatalf("Range did not stop early: %d", n)
+	}
+}
+
+func TestLenAndDataSize(t *testing.T) {
+	s := Open(Config{})
+	if err := s.Put("ab", []byte("cdef")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.DataSize() != 6 {
+		t.Fatalf("DataSize = %d, want 6", s.DataSize())
+	}
+}
+
+func TestWALRecoverRebuildsState(t *testing.T) {
+	s := Open(Config{})
+	ops := map[string]string{"a": "1", "b": "2", "c": "3"}
+	for k, v := range ops {
+		if err := s.Put(k, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", []byte("1b")); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Recover(Config{}, s.WAL())
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if v, ok := r.Get("a"); !ok || string(v) != "1b" {
+		t.Fatalf("a = %q,%v", v, ok)
+	}
+	if _, ok := r.Get("b"); ok {
+		t.Fatal("deleted key resurrected")
+	}
+	if v, ok := r.Get("c"); !ok || string(v) != "3" {
+		t.Fatalf("c = %q,%v", v, ok)
+	}
+	if r.WALOps() != s.WALOps() {
+		t.Fatalf("recovered WALOps = %d, want %d", r.WALOps(), s.WALOps())
+	}
+}
+
+func TestRecoverCorruptWALFails(t *testing.T) {
+	s := Open(Config{})
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	wal := s.WAL()
+	if _, err := Recover(Config{}, wal[:len(wal)-1]); err == nil {
+		t.Fatal("truncated WAL recovered silently")
+	}
+	wal[0] = 99 // unknown op
+	if _, err := Recover(Config{}, wal); err == nil {
+		t.Fatal("unknown op recovered silently")
+	}
+}
+
+func TestRecoverEmptyWAL(t *testing.T) {
+	s, err := Recover(Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestSyncWritesChargeFlushLatency(t *testing.T) {
+	s := Open(Config{SyncWrites: true, FlushLatency: sim.FixedLatency(3 * time.Millisecond)})
+	start := time.Now()
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 3*time.Millisecond {
+		t.Fatalf("sync put took %v, want >= 3ms", d)
+	}
+}
+
+func TestSyncWritesDefaultLatency(t *testing.T) {
+	s := Open(Config{SyncWrites: true})
+	if s.cfg.FlushLatency == nil {
+		t.Fatal("default flush latency not applied")
+	}
+}
+
+func TestClosedStoreRejectsMutations(t *testing.T) {
+	s := Open(Config{})
+	s.Close()
+	if err := s.Put("k", nil); err != ErrClosed {
+		t.Fatalf("Put err = %v", err)
+	}
+	if err := s.Delete("k"); err != ErrClosed {
+		t.Fatalf("Delete err = %v", err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := Open(Config{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", w)
+			for i := 0; i < 500; i++ {
+				if err := s.Put(key, []byte{byte(i)}); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				if v, ok := s.Get(key); !ok || len(v) != 1 {
+					t.Errorf("get = %v,%v", v, ok)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", s.Len())
+	}
+	// WAL must replay to the same final state even after interleaving.
+	r, err := Recover(Config{}, s.WAL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 8 {
+		t.Fatalf("recovered Len = %d", r.Len())
+	}
+}
+
+// Property: for any sequence of put/delete operations, replaying the WAL
+// yields exactly the same live state.
+func TestPropertyWALReplayEquivalence(t *testing.T) {
+	type op struct {
+		Key    uint8
+		Value  uint16
+		Delete bool
+	}
+	check := func(ops []op) bool {
+		s := Open(Config{})
+		want := make(map[string]string)
+		for _, o := range ops {
+			k := fmt.Sprintf("k%d", o.Key%16)
+			if o.Delete {
+				if s.Delete(k) != nil {
+					return false
+				}
+				delete(want, k)
+			} else {
+				v := fmt.Sprint(o.Value)
+				if s.Put(k, []byte(v)) != nil {
+					return false
+				}
+				want[k] = v
+			}
+		}
+		r, err := Recover(Config{}, s.WAL())
+		if err != nil {
+			return false
+		}
+		if r.Len() != len(want) {
+			return false
+		}
+		for k, v := range want {
+			got, ok := r.Get(k)
+			if !ok || string(got) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package nexmark
+
+import (
+	"fmt"
+
+	"impeller/internal/sim"
+)
+
+// Generator produces the NEXMark event stream following the Flink
+// reference implementation's proportions (paper §5.3): per 50 events,
+// 1 new person, 3 new auctions, and 46 bids (2% / 6% / 92%). Bids are
+// skewed toward recently opened (hot) auctions and auctions reference
+// recent persons, reproducing the benchmark's default skewed key
+// popularity. The generator is deterministic for a given seed.
+//
+// A Generator is not safe for concurrent use; the paper runs four
+// generator processes, which maps to one Generator per ingress writer.
+type Generator struct {
+	r *sim.Rand
+
+	seq        uint64
+	nextPerson uint64
+	nextAuct   uint64
+
+	// hotAuctions skews bids: most go to a few recent auctions.
+	hot *sim.Zipf
+
+	states   []string
+	channels []string
+
+	personPad  []byte
+	auctionPad []byte
+	bidPad     []byte
+}
+
+// eventsPerEpoch is the Flink generator's proportion denominator.
+const eventsPerEpoch = 50
+
+// activeWindow is how many recent auctions bids are drawn from.
+const activeWindow = 100
+
+// NewGenerator builds a deterministic generator.
+func NewGenerator(seed uint64) *Generator {
+	r := sim.NewRand(seed)
+	g := &Generator{
+		r:        r,
+		hot:      sim.NewZipf(r.Fork(), activeWindow, 1.2),
+		states:   []string{"OR", "ID", "CA", "NY", "TX", "WA", "AZ", "MA"},
+		channels: []string{"Google", "Facebook", "Baidu", "Apple"},
+	}
+	// Padding sizes chosen so average encoded event sizes land on the
+	// paper's 100/500/200-byte targets.
+	g.personPad = make([]byte, 110)
+	g.auctionPad = make([]byte, 415)
+	g.bidPad = make([]byte, 57)
+	return g
+}
+
+// Event is one generated event: its kind and encoded payload. The
+// payload's DateTime is the supplied event time.
+type Event struct {
+	Kind    EventKind
+	Payload []byte
+}
+
+// Next generates the next event with the given event time (µs).
+func (g *Generator) Next(eventTime int64) Event {
+	defer func() { g.seq++ }()
+	switch r := g.seq % eventsPerEpoch; {
+	case r == 0:
+		return Event{KindPerson, g.person(eventTime).Encode()}
+	case r < 4:
+		return Event{KindAuction, g.auction(eventTime).Encode()}
+	default:
+		return Event{KindBid, g.bid(eventTime).Encode()}
+	}
+}
+
+func (g *Generator) person(et int64) *Person {
+	id := g.nextPerson
+	g.nextPerson++
+	return &Person{
+		ID:       id,
+		Name:     fmt.Sprintf("person-%d", id),
+		Email:    fmt.Sprintf("p%d@example.com", id),
+		City:     fmt.Sprintf("city-%d", id%97),
+		State:    g.states[g.r.Intn(len(g.states))],
+		DateTime: et,
+		Extra:    g.personPad,
+	}
+}
+
+func (g *Generator) auction(et int64) *Auction {
+	id := g.nextAuct
+	g.nextAuct++
+	seller := uint64(0)
+	if g.nextPerson > 0 {
+		// Sellers skew toward recent persons.
+		back := uint64(g.r.Intn(20)) + 1
+		if back > g.nextPerson {
+			back = g.nextPerson
+		}
+		seller = g.nextPerson - back
+	}
+	return &Auction{
+		ID:         id,
+		ItemName:   fmt.Sprintf("item-%d", id),
+		Seller:     seller,
+		Category:   uint64(g.r.Intn(25)),
+		InitialBid: uint64(g.r.Intn(1000)) + 1,
+		Reserve:    uint64(g.r.Intn(2000)) + 1,
+		DateTime:   et,
+		Expires:    et + 10_000_000, // +10 s
+		Extra:      g.auctionPad,
+	}
+}
+
+func (g *Generator) bid(et int64) *Bid {
+	auction := uint64(0)
+	if g.nextAuct > 0 {
+		back := uint64(g.hot.Next()) + 1
+		if back > g.nextAuct {
+			back = g.nextAuct
+		}
+		auction = g.nextAuct - back
+	}
+	bidder := uint64(0)
+	if g.nextPerson > 0 {
+		bidder = uint64(g.r.Intn(int(g.nextPerson)))
+	}
+	return &Bid{
+		Auction:  auction,
+		Bidder:   bidder,
+		Price:    uint64(g.r.Intn(10_000)) + 100,
+		Channel:  g.channels[g.r.Intn(len(g.channels))],
+		DateTime: et,
+		Extra:    g.bidPad,
+	}
+}

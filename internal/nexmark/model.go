@@ -1,0 +1,286 @@
+// Package nexmark implements the NEXMark streaming benchmark (Tucker et
+// al.; Flink reference implementation) used in the paper's evaluation
+// (§5.3): an auction site producing a high-volume stream of new
+// persons, auctions, and bids, and the eight queries of Table 3.
+package nexmark
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// EventKind discriminates the three NEXMark event types.
+type EventKind byte
+
+const (
+	// KindPerson is a new-user event (2% of the stream, avg 200 B).
+	KindPerson EventKind = iota + 1
+	// KindAuction is a new-auction event (6%, avg 500 B).
+	KindAuction
+	// KindBid is a bid event (92%, avg 100 B).
+	KindBid
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case KindPerson:
+		return "person"
+	case KindAuction:
+		return "auction"
+	case KindBid:
+		return "bid"
+	default:
+		return fmt.Sprintf("event(%d)", byte(k))
+	}
+}
+
+// ErrBadEvent reports a malformed event encoding.
+var ErrBadEvent = errors.New("nexmark: bad event encoding")
+
+// Person is a new marketplace user.
+type Person struct {
+	ID       uint64
+	Name     string
+	Email    string
+	City     string
+	State    string
+	DateTime int64 // event time, µs
+	Extra    []byte
+}
+
+// Auction is a newly opened auction.
+type Auction struct {
+	ID         uint64
+	ItemName   string
+	Seller     uint64 // Person.ID
+	Category   uint64
+	InitialBid uint64
+	Reserve    uint64
+	DateTime   int64 // open time, µs
+	Expires    int64 // close time, µs
+	Extra      []byte
+}
+
+// Bid is a bid placed on an auction.
+type Bid struct {
+	Auction  uint64 // Auction.ID
+	Bidder   uint64 // Person.ID
+	Price    uint64 // cents
+	Channel  string
+	DateTime int64 // event time, µs
+	Extra    []byte
+}
+
+// Target average encoded sizes (paper §5.3: "The average size for bid,
+// auction and new user events are 100, 500 and 200 bytes").
+const (
+	AvgBidSize     = 100
+	AvgAuctionSize = 500
+	AvgPersonSize  = 200
+)
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func readString(buf []byte, p int) (string, int, error) {
+	if p+2 > len(buf) {
+		return "", 0, ErrBadEvent
+	}
+	n := int(binary.LittleEndian.Uint16(buf[p:]))
+	p += 2
+	if p+n > len(buf) {
+		return "", 0, ErrBadEvent
+	}
+	return string(buf[p : p+n]), p + n, nil
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(b)))
+	return append(buf, b...)
+}
+
+func readBytes(buf []byte, p int) ([]byte, int, error) {
+	if p+2 > len(buf) {
+		return nil, 0, ErrBadEvent
+	}
+	n := int(binary.LittleEndian.Uint16(buf[p:]))
+	p += 2
+	if p+n > len(buf) {
+		return nil, 0, ErrBadEvent
+	}
+	out := append([]byte(nil), buf[p:p+n]...)
+	return out, p + n, nil
+}
+
+// Encode serializes the person as an event (leading kind byte).
+func (x *Person) Encode() []byte {
+	buf := make([]byte, 0, AvgPersonSize+32)
+	buf = append(buf, byte(KindPerson))
+	buf = binary.LittleEndian.AppendUint64(buf, x.ID)
+	buf = appendString(buf, x.Name)
+	buf = appendString(buf, x.Email)
+	buf = appendString(buf, x.City)
+	buf = appendString(buf, x.State)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(x.DateTime))
+	buf = appendBytes(buf, x.Extra)
+	return buf
+}
+
+// DecodePerson parses a person event.
+func DecodePerson(buf []byte) (*Person, error) {
+	if len(buf) < 9 || EventKind(buf[0]) != KindPerson {
+		return nil, ErrBadEvent
+	}
+	x := &Person{ID: binary.LittleEndian.Uint64(buf[1:])}
+	p := 9
+	var err error
+	if x.Name, p, err = readString(buf, p); err != nil {
+		return nil, err
+	}
+	if x.Email, p, err = readString(buf, p); err != nil {
+		return nil, err
+	}
+	if x.City, p, err = readString(buf, p); err != nil {
+		return nil, err
+	}
+	if x.State, p, err = readString(buf, p); err != nil {
+		return nil, err
+	}
+	if p+8 > len(buf) {
+		return nil, ErrBadEvent
+	}
+	x.DateTime = int64(binary.LittleEndian.Uint64(buf[p:]))
+	p += 8
+	if x.Extra, p, err = readBytes(buf, p); err != nil {
+		return nil, err
+	}
+	if p != len(buf) {
+		return nil, ErrBadEvent
+	}
+	return x, nil
+}
+
+// Encode serializes the auction as an event.
+func (x *Auction) Encode() []byte {
+	buf := make([]byte, 0, AvgAuctionSize+32)
+	buf = append(buf, byte(KindAuction))
+	buf = binary.LittleEndian.AppendUint64(buf, x.ID)
+	buf = appendString(buf, x.ItemName)
+	buf = binary.LittleEndian.AppendUint64(buf, x.Seller)
+	buf = binary.LittleEndian.AppendUint64(buf, x.Category)
+	buf = binary.LittleEndian.AppendUint64(buf, x.InitialBid)
+	buf = binary.LittleEndian.AppendUint64(buf, x.Reserve)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(x.DateTime))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(x.Expires))
+	buf = appendBytes(buf, x.Extra)
+	return buf
+}
+
+// DecodeAuction parses an auction event.
+func DecodeAuction(buf []byte) (*Auction, error) {
+	if len(buf) < 9 || EventKind(buf[0]) != KindAuction {
+		return nil, ErrBadEvent
+	}
+	x := &Auction{ID: binary.LittleEndian.Uint64(buf[1:])}
+	p := 9
+	var err error
+	if x.ItemName, p, err = readString(buf, p); err != nil {
+		return nil, err
+	}
+	if p+48 > len(buf) {
+		return nil, ErrBadEvent
+	}
+	x.Seller = binary.LittleEndian.Uint64(buf[p:])
+	x.Category = binary.LittleEndian.Uint64(buf[p+8:])
+	x.InitialBid = binary.LittleEndian.Uint64(buf[p+16:])
+	x.Reserve = binary.LittleEndian.Uint64(buf[p+24:])
+	x.DateTime = int64(binary.LittleEndian.Uint64(buf[p+32:]))
+	x.Expires = int64(binary.LittleEndian.Uint64(buf[p+40:]))
+	p += 48
+	if x.Extra, p, err = readBytes(buf, p); err != nil {
+		return nil, err
+	}
+	if p != len(buf) {
+		return nil, ErrBadEvent
+	}
+	return x, nil
+}
+
+// Encode serializes the bid as an event.
+func (x *Bid) Encode() []byte {
+	buf := make([]byte, 0, AvgBidSize+32)
+	buf = append(buf, byte(KindBid))
+	buf = binary.LittleEndian.AppendUint64(buf, x.Auction)
+	buf = binary.LittleEndian.AppendUint64(buf, x.Bidder)
+	buf = binary.LittleEndian.AppendUint64(buf, x.Price)
+	buf = appendString(buf, x.Channel)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(x.DateTime))
+	buf = appendBytes(buf, x.Extra)
+	return buf
+}
+
+// DecodeBid parses a bid event.
+func DecodeBid(buf []byte) (*Bid, error) {
+	if len(buf) < 25 || EventKind(buf[0]) != KindBid {
+		return nil, ErrBadEvent
+	}
+	x := &Bid{
+		Auction: binary.LittleEndian.Uint64(buf[1:]),
+		Bidder:  binary.LittleEndian.Uint64(buf[9:]),
+		Price:   binary.LittleEndian.Uint64(buf[17:]),
+	}
+	p := 25
+	var err error
+	if x.Channel, p, err = readString(buf, p); err != nil {
+		return nil, err
+	}
+	if p+8 > len(buf) {
+		return nil, ErrBadEvent
+	}
+	x.DateTime = int64(binary.LittleEndian.Uint64(buf[p:]))
+	p += 8
+	if x.Extra, p, err = readBytes(buf, p); err != nil {
+		return nil, err
+	}
+	if p != len(buf) {
+		return nil, ErrBadEvent
+	}
+	return x, nil
+}
+
+// KindOf peeks at an encoded event's kind.
+func KindOf(buf []byte) EventKind {
+	if len(buf) == 0 {
+		return 0
+	}
+	return EventKind(buf[0])
+}
+
+// EventTime extracts the event time from any encoded event.
+func EventTime(buf []byte) (int64, error) {
+	switch KindOf(buf) {
+	case KindPerson:
+		p, err := DecodePerson(buf)
+		if err != nil {
+			return 0, err
+		}
+		return p.DateTime, nil
+	case KindAuction:
+		a, err := DecodeAuction(buf)
+		if err != nil {
+			return 0, err
+		}
+		return a.DateTime, nil
+	case KindBid:
+		b, err := DecodeBid(buf)
+		if err != nil {
+			return 0, err
+		}
+		return b.DateTime, nil
+	default:
+		return 0, ErrBadEvent
+	}
+}

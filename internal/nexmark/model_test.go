@@ -1,0 +1,281 @@
+package nexmark
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestPersonRoundTrip(t *testing.T) {
+	in := &Person{
+		ID: 42, Name: "person-42", Email: "p@x.com", City: "city-1",
+		State: "OR", DateTime: 123456789, Extra: bytes.Repeat([]byte{7}, 110),
+	}
+	out, err := DecodePerson(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Name != in.Name || out.Email != in.Email ||
+		out.City != in.City || out.State != in.State || out.DateTime != in.DateTime ||
+		!bytes.Equal(out.Extra, in.Extra) {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestAuctionRoundTrip(t *testing.T) {
+	in := &Auction{
+		ID: 9, ItemName: "item-9", Seller: 3, Category: 10, InitialBid: 5,
+		Reserve: 20, DateTime: 100, Expires: 200, Extra: []byte("pad"),
+	}
+	out, err := DecodeAuction(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.ItemName != in.ItemName || out.InitialBid != in.InitialBid ||
+		out.Reserve != in.Reserve || out.DateTime != in.DateTime || !bytes.Equal(out.Extra, in.Extra) {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	if out.Seller != 3 || out.Category != 10 || out.Expires != 200 {
+		t.Fatalf("fields mismatch: %+v", out)
+	}
+}
+
+func TestBidRoundTrip(t *testing.T) {
+	in := &Bid{Auction: 7, Bidder: 2, Price: 999, Channel: "Apple", DateTime: 55, Extra: []byte("x")}
+	out, err := DecodeBid(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Auction != 7 || out.Bidder != 2 || out.Price != 999 || out.Channel != "Apple" || out.DateTime != 55 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestDecodeRejectsWrongKind(t *testing.T) {
+	bid := (&Bid{Auction: 1}).Encode()
+	if _, err := DecodePerson(bid); err == nil {
+		t.Fatal("bid decoded as person")
+	}
+	if _, err := DecodeAuction(bid); err == nil {
+		t.Fatal("bid decoded as auction")
+	}
+	if _, err := DecodeBid(nil); err == nil {
+		t.Fatal("nil decoded as bid")
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	for _, enc := range [][]byte{
+		(&Person{Name: "n", Email: "e", City: "c", State: "s"}).Encode(),
+		(&Auction{ItemName: "i"}).Encode(),
+		(&Bid{Channel: "c"}).Encode(),
+	} {
+		for cut := 1; cut < len(enc); cut++ {
+			switch KindOf(enc) {
+			case KindPerson:
+				if _, err := DecodePerson(enc[:cut]); err == nil {
+					t.Fatalf("truncated person decoded at %d", cut)
+				}
+			case KindAuction:
+				if _, err := DecodeAuction(enc[:cut]); err == nil {
+					t.Fatalf("truncated auction decoded at %d", cut)
+				}
+			case KindBid:
+				if _, err := DecodeBid(enc[:cut]); err == nil {
+					t.Fatalf("truncated bid decoded at %d", cut)
+				}
+			}
+		}
+	}
+}
+
+func TestEventTimeExtraction(t *testing.T) {
+	cases := []struct {
+		enc  []byte
+		want int64
+	}{
+		{(&Person{DateTime: 11}).Encode(), 11},
+		{(&Auction{DateTime: 22}).Encode(), 22},
+		{(&Bid{DateTime: 33}).Encode(), 33},
+	}
+	for _, c := range cases {
+		got, err := EventTime(c.enc)
+		if err != nil || got != c.want {
+			t.Fatalf("EventTime = %d, %v; want %d", got, err, c.want)
+		}
+	}
+	if _, err := EventTime([]byte{99}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestPropertyBidRoundTrip(t *testing.T) {
+	check := func(auction, bidder, price uint64, channel string, dt int64, extra []byte) bool {
+		if len(channel) > 60000 {
+			channel = channel[:60000]
+		}
+		if len(extra) > 60000 {
+			extra = extra[:60000]
+		}
+		in := &Bid{Auction: auction, Bidder: bidder, Price: price, Channel: channel, DateTime: dt, Extra: extra}
+		out, err := DecodeBid(in.Encode())
+		if err != nil {
+			return false
+		}
+		return out.Auction == auction && out.Bidder == bidder && out.Price == price &&
+			out.Channel == channel && out.DateTime == dt && bytes.Equal(out.Extra, extra)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorProportions(t *testing.T) {
+	g := NewGenerator(1)
+	counts := map[EventKind]int{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[g.Next(int64(i)).Kind]++
+	}
+	if p := float64(counts[KindPerson]) / n; p < 0.019 || p > 0.021 {
+		t.Fatalf("person fraction = %v, want 0.02", p)
+	}
+	if a := float64(counts[KindAuction]) / n; a < 0.059 || a > 0.061 {
+		t.Fatalf("auction fraction = %v, want 0.06", a)
+	}
+	if b := float64(counts[KindBid]) / n; b < 0.919 || b > 0.921 {
+		t.Fatalf("bid fraction = %v, want 0.92", b)
+	}
+}
+
+func TestGeneratorAverageSizes(t *testing.T) {
+	g := NewGenerator(2)
+	sizes := map[EventKind][]int{}
+	for i := 0; i < 20000; i++ {
+		ev := g.Next(int64(i))
+		sizes[ev.Kind] = append(sizes[ev.Kind], len(ev.Payload))
+	}
+	avg := func(k EventKind) int {
+		total := 0
+		for _, s := range sizes[k] {
+			total += s
+		}
+		return total / len(sizes[k])
+	}
+	// Paper §5.3: avg bid/auction/person sizes 100/500/200 bytes;
+	// allow ±15%.
+	checks := []struct {
+		kind EventKind
+		want int
+	}{{KindBid, AvgBidSize}, {KindAuction, AvgAuctionSize}, {KindPerson, AvgPersonSize}}
+	for _, c := range checks {
+		got := avg(c.kind)
+		if got < c.want*85/100 || got > c.want*115/100 {
+			t.Fatalf("%v avg size = %d, want ~%d", c.kind, got, c.want)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a, b := NewGenerator(7), NewGenerator(7)
+	for i := 0; i < 2000; i++ {
+		ea, eb := a.Next(int64(i)), b.Next(int64(i))
+		if ea.Kind != eb.Kind || !bytes.Equal(ea.Payload, eb.Payload) {
+			t.Fatalf("generators diverged at %d", i)
+		}
+	}
+}
+
+func TestGeneratorEventsDecode(t *testing.T) {
+	g := NewGenerator(3)
+	for i := 0; i < 5000; i++ {
+		ev := g.Next(int64(i) * 1000)
+		et, err := EventTime(ev.Payload)
+		if err != nil {
+			t.Fatalf("event %d (%v) undecodable: %v", i, ev.Kind, err)
+		}
+		if et != int64(i)*1000 {
+			t.Fatalf("event time %d, want %d", et, i*1000)
+		}
+	}
+}
+
+func TestGeneratorBidSkew(t *testing.T) {
+	g := NewGenerator(4)
+	bidCounts := map[uint64]int{}
+	for i := 0; i < 100000; i++ {
+		ev := g.Next(int64(i))
+		if ev.Kind == KindBid {
+			bid, err := DecodeBid(ev.Payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bidCounts[bid.Auction]++
+		}
+	}
+	// Skewed key popularity: the hottest auction must receive far more
+	// bids than the median auction.
+	max := 0
+	total := 0
+	for _, c := range bidCounts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	mean := total / len(bidCounts)
+	if max < 5*mean {
+		t.Fatalf("bids not skewed: max=%d mean=%d", max, mean)
+	}
+}
+
+func TestGeneratorReferencesExist(t *testing.T) {
+	g := NewGenerator(5)
+	maxPerson, maxAuction := uint64(0), uint64(0)
+	for i := 0; i < 20000; i++ {
+		ev := g.Next(int64(i))
+		switch ev.Kind {
+		case KindPerson:
+			p, _ := DecodePerson(ev.Payload)
+			if p.ID > maxPerson {
+				maxPerson = p.ID
+			}
+		case KindAuction:
+			a, _ := DecodeAuction(ev.Payload)
+			if a.ID > maxAuction {
+				maxAuction = a.ID
+			}
+			if a.Seller > maxPerson {
+				t.Fatalf("auction %d references unborn seller %d (max %d)", a.ID, a.Seller, maxPerson)
+			}
+		case KindBid:
+			b, _ := DecodeBid(ev.Payload)
+			if b.Auction > maxAuction {
+				t.Fatalf("bid references unborn auction %d (max %d)", b.Auction, maxAuction)
+			}
+		}
+	}
+}
+
+func TestQueryInfoTable(t *testing.T) {
+	if len(Queries) != 8 {
+		t.Fatalf("queries = %d, want 8", len(Queries))
+	}
+	stateful := map[int]bool{3: true, 4: true, 5: true, 6: true, 7: true, 8: true}
+	for _, q := range Queries {
+		if q.Stateful != stateful[q.Number] {
+			t.Fatalf("q%d stateful = %v", q.Number, q.Stateful)
+		}
+	}
+	if _, err := Build(0); err == nil {
+		t.Fatal("query 0 built")
+	}
+	if _, err := Build(13); err == nil {
+		t.Fatal("query 13 built")
+	}
+	for q := 1; q <= 8; q++ {
+		if _, err := Build(q); err != nil {
+			t.Fatalf("Build(%d): %v", q, err)
+		}
+	}
+}

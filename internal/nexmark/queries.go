@@ -1,0 +1,577 @@
+package nexmark
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"impeller"
+)
+
+// EventStream is the source stream all queries consume.
+const EventStream impeller.StreamID = "nexmark"
+
+// OutputStream names query q's final output stream.
+func OutputStream(q int) impeller.StreamID {
+	return impeller.StreamID(fmt.Sprintf("q%d-out", q))
+}
+
+// QueryInfo describes one NEXMark query (paper Table 3).
+type QueryInfo struct {
+	Number    int
+	Semantics string
+	Stateful  bool
+}
+
+// Queries lists the eight benchmark queries.
+var Queries = []QueryInfo{
+	{1, "Transforms bids from USD to Euro", false},
+	{2, "Filters bids by their auction identifiers", false},
+	{3, "Joins auctions and people to find sellers in particular US states", true},
+	{4, "Average of the winning bids for all auctions in each category", true},
+	{5, "Auctions with the highest number of bids over the previous 10 seconds, every 2 seconds", true},
+	{6, "Average selling price per seller for their last 10 closed auctions", true},
+	{7, "Highest bid each minute", true},
+	{8, "10-second windowed join between new persons and new auction sellers", true},
+}
+
+func isBid(d impeller.Datum) bool     { return KindOf(d.Value) == KindBid }
+func isAuction(d impeller.Datum) bool { return KindOf(d.Value) == KindAuction }
+func isPerson(d impeller.Datum) bool  { return KindOf(d.Value) == KindPerson }
+
+func u64(v uint64) []byte { return binary.LittleEndian.AppendUint64(nil, v) }
+
+func getU64(b []byte) uint64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// sumCount splits a (sum, count) accumulator, tolerating nil.
+func sumCount(acc []byte) (sum, n uint64) {
+	if len(acc) >= 8 {
+		sum = binary.LittleEndian.Uint64(acc)
+	}
+	if len(acc) >= 16 {
+		n = binary.LittleEndian.Uint64(acc[8:])
+	}
+	return sum, n
+}
+
+// Options tune query construction.
+type Options struct {
+	// PerUpdateWindows makes Q5/Q7 windowed aggregates emit on every
+	// update (Kafka Streams' default, used by the latency benchmarks)
+	// instead of once per finalized window.
+	PerUpdateWindows bool
+}
+
+// Build constructs query q's topology (1–8). The returned topology
+// reads EventStream and routes results to OutputStream(q).
+func Build(q int) (*impeller.Topology, error) {
+	return BuildOpts(q, Options{})
+}
+
+// BuildOpts constructs query q's topology with options.
+func BuildOpts(q int, opts Options) (*impeller.Topology, error) {
+	mode := impeller.EmitFinal
+	if opts.PerUpdateWindows {
+		mode = impeller.EmitPerUpdate
+	}
+	b := impeller.NewTopology(fmt.Sprintf("q%d", q))
+	switch q {
+	case 1:
+		buildQ1(b)
+	case 2:
+		buildQ2(b)
+	case 3:
+		buildQ3(b)
+	case 4:
+		buildQ4(b)
+	case 5:
+		buildQ5(b, mode)
+	case 6:
+		buildQ6(b)
+	case 7:
+		buildQ7(b, mode)
+	case 8:
+		buildQ8(b)
+	case 9:
+		buildQ9(b)
+	case 11:
+		buildQ11(b, mode)
+	case 12:
+		buildQ12(b, mode)
+	default:
+		return nil, fmt.Errorf("nexmark: no query %d", q)
+	}
+	return b, nil
+}
+
+// Q1 — currency conversion (stream map + filter): every bid's USD price
+// converted to EUR.
+func buildQ1(b *impeller.Topology) {
+	b.Stream(EventStream).
+		Filter(isBid).
+		Map(func(d impeller.Datum) *impeller.Datum {
+			bid, err := DecodeBid(d.Value)
+			if err != nil {
+				return nil
+			}
+			bid.Price = bid.Price * 908 / 1000 // USD → EUR
+			d.Value = bid.Encode()
+			return &d
+		}).
+		To(OutputStream(1))
+}
+
+// Q2 — selection (stream filter): bids on a sampled set of auctions.
+func buildQ2(b *impeller.Topology) {
+	b.Stream(EventStream).
+		Filter(func(d impeller.Datum) bool {
+			if !isBid(d) {
+				return false
+			}
+			bid, err := DecodeBid(d.Value)
+			return err == nil && bid.Auction%123 == 0
+		}).
+		To(OutputStream(2))
+}
+
+// Q3Result is one Q3 output row.
+type Q3Result struct {
+	Name, City, State string
+	Auction           uint64
+}
+
+// EncodeQ3 serializes a Q3 row.
+func EncodeQ3(r *Q3Result) []byte {
+	buf := appendString(nil, r.Name)
+	buf = appendString(buf, r.City)
+	buf = appendString(buf, r.State)
+	return binary.LittleEndian.AppendUint64(buf, r.Auction)
+}
+
+// DecodeQ3 parses a Q3 row.
+func DecodeQ3(buf []byte) (*Q3Result, error) {
+	r := &Q3Result{}
+	var err error
+	p := 0
+	if r.Name, p, err = readString(buf, p); err != nil {
+		return nil, err
+	}
+	if r.City, p, err = readString(buf, p); err != nil {
+		return nil, err
+	}
+	if r.State, p, err = readString(buf, p); err != nil {
+		return nil, err
+	}
+	if p+8 != len(buf) {
+		return nil, ErrBadEvent
+	}
+	r.Auction = binary.LittleEndian.Uint64(buf[p:])
+	return r, nil
+}
+
+// Q3 — local item suggestion (table-table join): sellers in OR/ID/CA
+// offering category-10 auctions.
+func buildQ3(b *impeller.Topology) {
+	sides := b.Stream(EventStream).Branch(isAuction, isPerson)
+	auctionsBySeller := sides[0].
+		Filter(func(d impeller.Datum) bool {
+			a, err := DecodeAuction(d.Value)
+			return err == nil && a.Category == 10
+		}).
+		GroupBy(func(d impeller.Datum) []byte {
+			a, _ := DecodeAuction(d.Value)
+			return u64(a.Seller)
+		})
+	personsByID := sides[1].
+		Filter(func(d impeller.Datum) bool {
+			p, err := DecodePerson(d.Value)
+			if err != nil {
+				return false
+			}
+			return p.State == "OR" || p.State == "ID" || p.State == "CA"
+		}).
+		GroupBy(func(d impeller.Datum) []byte {
+			p, _ := DecodePerson(d.Value)
+			return u64(p.ID)
+		})
+	auctionsBySeller.
+		JoinTableTable(personsByID, "q3join", func(key, av, pv []byte) []byte {
+			a, err := DecodeAuction(av)
+			if err != nil {
+				return nil
+			}
+			p, err := DecodePerson(pv)
+			if err != nil {
+				return nil
+			}
+			return EncodeQ3(&Q3Result{Name: p.Name, City: p.City, State: p.State, Auction: a.ID})
+		}).
+		To(OutputStream(3))
+}
+
+// winningBid is the joined (bid, auction) record flowing through Q4/Q6:
+// auction id, category, seller, and the bid price.
+type winningBid struct {
+	Auction  uint64
+	Category uint64
+	Seller   uint64
+	Price    uint64
+}
+
+func encodeWinning(w *winningBid) []byte {
+	buf := binary.LittleEndian.AppendUint64(nil, w.Auction)
+	buf = binary.LittleEndian.AppendUint64(buf, w.Category)
+	buf = binary.LittleEndian.AppendUint64(buf, w.Seller)
+	return binary.LittleEndian.AppendUint64(buf, w.Price)
+}
+
+func decodeWinning(buf []byte) (*winningBid, error) {
+	if len(buf) != 32 {
+		return nil, ErrBadEvent
+	}
+	return &winningBid{
+		Auction:  binary.LittleEndian.Uint64(buf),
+		Category: binary.LittleEndian.Uint64(buf[8:]),
+		Seller:   binary.LittleEndian.Uint64(buf[16:]),
+		Price:    binary.LittleEndian.Uint64(buf[24:]),
+	}, nil
+}
+
+// winningBids builds the shared Q4/Q6 prefix: join bids with their
+// auctions (stream-stream inner join on auction id) and keep the
+// running maximum bid per auction — the winning bid of each auction as
+// a table of upserts keyed by auction id.
+func winningBids(b *impeller.Topology, name string) *impeller.Stream {
+	sides := b.Stream(EventStream).Branch(isBid, isAuction)
+	bidsByAuction := sides[0].GroupBy(func(d impeller.Datum) []byte {
+		bid, _ := DecodeBid(d.Value)
+		return u64(bid.Auction)
+	})
+	auctionsByID := sides[1].GroupBy(func(d impeller.Datum) []byte {
+		a, _ := DecodeAuction(d.Value)
+		return u64(a.ID)
+	})
+	return bidsByAuction.
+		JoinStream(auctionsByID, name+"-join", 10*time.Second,
+			func(key, bv, av []byte) []byte {
+				bid, err := DecodeBid(bv)
+				if err != nil {
+					return nil
+				}
+				a, err := DecodeAuction(av)
+				if err != nil {
+					return nil
+				}
+				return encodeWinning(&winningBid{Auction: a.ID, Category: a.Category, Seller: a.Seller, Price: bid.Price})
+			}).
+		GroupByKey().
+		Reduce(name+"-max", func(_, value, acc []byte) []byte {
+			nv, err1 := decodeWinning(value)
+			ov, err2 := decodeWinning(acc)
+			if err1 != nil || err2 != nil || nv.Price > ov.Price {
+				return value
+			}
+			return acc
+		})
+}
+
+// Q4 — average price per category (stream-stream join + stream/table
+// groupby + table aggregate with retraction).
+func buildQ4(b *impeller.Topology) {
+	winningBids(b, "q4").
+		GroupBy(func(d impeller.Datum) []byte {
+			w, _ := decodeWinning(d.Value)
+			return u64(w.Category)
+		}).
+		TableAggregate("q4avg",
+			func(d impeller.Datum) []byte {
+				w, _ := decodeWinning(d.Value)
+				return u64(w.Auction)
+			},
+			impeller.TableAggregator{
+				Add: func(_, value, acc []byte) []byte {
+					w, err := decodeWinning(value)
+					if err != nil {
+						return acc
+					}
+					sum, n := sumCount(acc)
+					return append(u64(sum+w.Price), u64(n+1)...)
+				},
+				Subtract: func(_, value, acc []byte) []byte {
+					w, err := decodeWinning(value)
+					if err != nil {
+						return acc
+					}
+					sum, n := sumCount(acc)
+					return append(u64(sum-w.Price), u64(n-1)...)
+				},
+			}).
+		MapValues(func(_, acc []byte) []byte {
+			sum, n := sumCount(acc)
+			if n == 0 {
+				return u64(0)
+			}
+			return u64(sum / n)
+		}).
+		To(OutputStream(4))
+}
+
+// Q5Window is the sliding window spec for the hot-items query (paper:
+// "every 2 seconds ... over the previous 10 seconds"). The grace period
+// bounds cross-substream event-time disorder: records from different
+// upstream tasks interleave arbitrarily in the shared log, so a window
+// only finalizes once the watermark has passed its end by the grace.
+var Q5Window = impeller.WindowSpec{Size: 10 * time.Second, Advance: 2 * time.Second, Grace: 2 * time.Second}
+
+// Q5 — hot items: per sliding window, the auction with the most bids,
+// joined against the auctions table for its metadata.
+func buildQ5(b *impeller.Topology, mode impeller.WindowEmit) {
+	sides := b.Stream(EventStream).Branch(isBid, isAuction)
+	counts := sides[0].
+		GroupBy(func(d impeller.Datum) []byte {
+			bid, _ := DecodeBid(d.Value)
+			return u64(bid.Auction)
+		}).
+		WindowAggregate("q5cnt", Q5Window, mode,
+			func(_, _, acc []byte) []byte { return u64(getU64(acc) + 1) })
+	// Re-key the per-(window, auction) counts by window (fused into the
+	// window stage), then a single fused stage keeps the per-window
+	// maximum and joins the winner against the materialized auctions
+	// table (the stream-table inner join of Table 3). Fusing max+join
+	// keeps the query at the paper's stage depth: every extra stage
+	// boundary adds commit-gating latency.
+	windowed := counts.
+		Map(func(d impeller.Datum) *impeller.Datum {
+			start, end, key, err := impeller.SplitWindowKey(d.Key)
+			if err != nil {
+				return nil
+			}
+			// value := auction id | count; key := window bounds.
+			v := append(append([]byte{}, key...), d.Value...)
+			return &impeller.Datum{Key: impeller.WindowKey(start, end, nil), Value: v, EventTime: d.EventTime}
+		}).
+		GroupByKey().Parallelism(1)
+	auctionsByID := sides[1].GroupBy(func(d impeller.Datum) []byte {
+		a, _ := DecodeAuction(d.Value)
+		return u64(a.ID)
+	}).Parallelism(1)
+	windowed.
+		ApplyWith(auctionsByID, true, func() impeller.Processor { return &q5Winner{} }).
+		To(OutputStream(5))
+}
+
+// q5Winner keeps the bid-count maximum per window (port 0) and joins
+// each new winner against the auctions table (port 1), emitting
+// auction id | count | witness byte from the auction row.
+type q5Winner struct {
+	ctx impeller.ProcContext
+}
+
+// Open implements impeller.Processor.
+func (w *q5Winner) Open(ctx impeller.ProcContext) error {
+	w.ctx = ctx
+	return nil
+}
+
+// Process implements impeller.Processor.
+func (w *q5Winner) Process(port int, d impeller.Datum, emit impeller.EmitFunc) error {
+	st := w.ctx.Store()
+	switch port {
+	case 1: // auctions table
+		a, err := DecodeAuction(d.Value)
+		if err != nil {
+			return nil
+		}
+		st.Put("a/"+string(u64(a.ID)), d.Value[:1])
+		// Release winners that were waiting for this auction's row (the
+		// count can race ahead of the table side); a pending winner
+		// emits only if it is still the window's current maximum.
+		prefix := "p/" + string(u64(a.ID)) + "/"
+		var stale []string
+		st.Range(prefix, func(k string, _ []byte) bool {
+			stale = append(stale, k)
+			return true
+		})
+		for _, k := range stale {
+			wkey := k[len(prefix):]
+			if cur, ok := st.Get("w/" + wkey); ok && getU64(cur) == a.ID {
+				out := append(append([]byte{}, cur...), d.Value[0])
+				emit(0, impeller.Datum{Key: cur[:8], Value: out, EventTime: d.EventTime})
+			}
+			st.Delete(k)
+		}
+		return nil
+	default: // per-(window, auction) counts: value = auction | count
+		if len(d.Value) < 16 {
+			return nil
+		}
+		wk := "w/" + string(d.Key)
+		if cur, ok := st.Get(wk); ok && getU64(d.Value[8:]) <= getU64(cur[8:]) {
+			return nil // not a new maximum for this window
+		}
+		st.Put(wk, d.Value)
+		row, ok := st.Get("a/" + string(d.Value[:8]))
+		if !ok {
+			// Inner join, table side not materialized yet: park the
+			// winner until its auction row arrives.
+			st.Put("p/"+string(d.Value[:8])+"/"+string(d.Key), nil)
+			return nil
+		}
+		out := append(append([]byte{}, d.Value...), row[0])
+		emit(0, impeller.Datum{Key: d.Value[:8], Value: out, EventTime: d.EventTime})
+		return nil
+	}
+}
+
+// Q6 — average selling price per seller over their last 10 auctions.
+func buildQ6(b *impeller.Topology) {
+	winningBids(b, "q6").
+		GroupBy(func(d impeller.Datum) []byte {
+			w, _ := decodeWinning(d.Value)
+			return u64(w.Seller)
+		}).
+		TableAggregate("q6last10",
+			func(d impeller.Datum) []byte {
+				w, _ := decodeWinning(d.Value)
+				return u64(w.Auction)
+			},
+			impeller.TableAggregator{Add: q6Add, Subtract: q6Subtract}).
+		MapValues(func(_, acc []byte) []byte {
+			n := len(acc) / 16
+			if n == 0 {
+				return u64(0)
+			}
+			var sum uint64
+			for i := 0; i < n; i++ {
+				sum += getU64(acc[i*16+8:])
+			}
+			return u64(sum / uint64(n))
+		}).
+		To(OutputStream(6))
+}
+
+// q6 accumulator: a list of (auction, price) pairs, newest last, capped
+// at the seller's 10 most recent auctions.
+func q6Add(_, value, acc []byte) []byte {
+	w, err := decodeWinning(value)
+	if err != nil {
+		return acc
+	}
+	acc = q6Remove(acc, w.Auction)
+	acc = append(acc, u64(w.Auction)...)
+	acc = append(acc, u64(w.Price)...)
+	if len(acc) > 10*16 {
+		acc = acc[len(acc)-10*16:]
+	}
+	return acc
+}
+
+func q6Subtract(_, value, acc []byte) []byte {
+	w, err := decodeWinning(value)
+	if err != nil {
+		return acc
+	}
+	return q6Remove(acc, w.Auction)
+}
+
+func q6Remove(acc []byte, auction uint64) []byte {
+	for i := 0; i+16 <= len(acc); i += 16 {
+		if getU64(acc[i:]) == auction {
+			return append(append([]byte{}, acc[:i]...), acc[i+16:]...)
+		}
+	}
+	return acc
+}
+
+// Q7Window is the tumbling window of the highest-bid query (grace as
+// in Q5Window).
+var Q7Window = impeller.WindowSpec{Size: time.Minute, Grace: 2 * time.Second}
+
+// q7JoinKey keys both the per-window maximum and the raw bids by
+// (window start, price) so the join recovers the winning bid itself.
+func q7JoinKey(windowStart int64, price uint64) []byte {
+	buf := binary.BigEndian.AppendUint64(nil, uint64(windowStart))
+	return binary.BigEndian.AppendUint64(buf, price)
+}
+
+// Q7 — highest bid per minute: a windowed global maximum joined back
+// against the bid stream to recover the winning bid (stream aggregate +
+// stream-stream join, per Table 3).
+func buildQ7(b *impeller.Topology, mode impeller.WindowEmit) {
+	// Both legs consume the full event stream (a branch would route
+	// each bid to only one side).
+	maxima := b.Stream(EventStream).
+		Filter(isBid).
+		GroupBy(func(impeller.Datum) []byte { return []byte("all") }).
+		Parallelism(1).
+		WindowAggregate("q7max", Q7Window, mode,
+			func(_, value, acc []byte) []byte {
+				bid, err := DecodeBid(value)
+				if err != nil {
+					return acc
+				}
+				if bid.Price > getU64(acc) {
+					return u64(bid.Price)
+				}
+				return acc
+			}).
+		Map(func(d impeller.Datum) *impeller.Datum {
+			start, _, _, err := impeller.SplitWindowKey(d.Key)
+			if err != nil {
+				return nil
+			}
+			return &impeller.Datum{Key: q7JoinKey(start, getU64(d.Value)), Value: d.Value, EventTime: d.EventTime}
+		}).
+		GroupByKey()
+	bidsByWindowPrice := b.Stream(EventStream).
+		Filter(isBid).
+		GroupBy(func(d impeller.Datum) []byte {
+			bid, err := DecodeBid(d.Value)
+			if err != nil {
+				return nil
+			}
+			size := Q7Window.Size.Microseconds()
+			return q7JoinKey((bid.DateTime/size)*size, bid.Price)
+		})
+	maxima.
+		JoinStream(bidsByWindowPrice, "q7join", 2*time.Minute,
+			func(_, _, bid []byte) []byte { return bid }).
+		To(OutputStream(7))
+}
+
+// Q8Window is the monitor-new-users join window.
+var Q8Window = 10 * time.Second
+
+// Q8 — monitor new users: persons who opened auctions within 10 s of
+// registering (stream-stream windowed join).
+func buildQ8(b *impeller.Topology) {
+	sides := b.Stream(EventStream).Branch(isPerson, isAuction)
+	personsByID := sides[0].GroupBy(func(d impeller.Datum) []byte {
+		p, _ := DecodePerson(d.Value)
+		return u64(p.ID)
+	})
+	auctionsBySeller := sides[1].GroupBy(func(d impeller.Datum) []byte {
+		a, _ := DecodeAuction(d.Value)
+		return u64(a.Seller)
+	})
+	personsByID.
+		JoinStream(auctionsBySeller, "q8join", Q8Window,
+			func(key, pv, av []byte) []byte {
+				p, err := DecodePerson(pv)
+				if err != nil {
+					return nil
+				}
+				a, err := DecodeAuction(av)
+				if err != nil {
+					return nil
+				}
+				buf := appendString(nil, p.Name)
+				return binary.LittleEndian.AppendUint64(buf, a.ID)
+			}).
+		To(OutputStream(8))
+}

@@ -1,0 +1,105 @@
+package nexmark
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestQueryInfoExtended(t *testing.T) {
+	if len(ExtendedQueries) != 3 {
+		t.Fatalf("extended queries = %d", len(ExtendedQueries))
+	}
+	for _, info := range ExtendedQueries {
+		if _, err := Build(info.Number); err != nil {
+			t.Fatalf("Build(%d): %v", info.Number, err)
+		}
+	}
+	if _, err := Build(10); err == nil {
+		t.Fatal("unimplemented query 10 built")
+	}
+}
+
+func TestQ9WinningBids(t *testing.T) {
+	h := startQuery(t, 9)
+	now := time.Now().UnixMicro()
+	h.send((&Auction{ID: 1, Seller: 5, Category: 2, DateTime: now}).Encode())
+	h.send((&Bid{Auction: 1, Price: 100, DateTime: now + 1000}).Encode())
+	h.send((&Bid{Auction: 1, Price: 300, DateTime: now + 2000}).Encode())
+	h.send((&Bid{Auction: 1, Price: 200, DateTime: now + 3000}).Encode())
+	h.waitFor("winning bid 300", func(_ []outRecord, last map[string][]byte) bool {
+		v, ok := last[string(u64(1))]
+		if !ok {
+			return false
+		}
+		auction, category, seller, price, err := DecodeWinningBid(v)
+		if err != nil {
+			return false
+		}
+		return auction == 1 && category == 2 && seller == 5 && price == 300
+	})
+}
+
+func TestQ11UserSessions(t *testing.T) {
+	h := startQuery(t, 11)
+	base := int64(6_000_000_000_000_000)
+	// Bidder 1: a 3-bid session, a 25s silence, then a 1-bid session.
+	h.send((&Bid{Auction: 1, Bidder: 1, Price: 1, DateTime: base}).Encode())
+	h.send((&Bid{Auction: 2, Bidder: 1, Price: 2, DateTime: base + 3_000_000}).Encode())
+	h.send((&Bid{Auction: 3, Bidder: 1, Price: 3, DateTime: base + 6_000_000}).Encode())
+	// Let the session's bids flow through before the gap-closing bid
+	// (cross-substream interleaving is arbitrary).
+	time.Sleep(300 * time.Millisecond)
+	h.send((&Bid{Auction: 4, Bidder: 1, Price: 4, DateTime: base + 31_000_000}).Encode())
+	h.waitFor("3-bid session observed", func(outs []outRecord, _ map[string][]byte) bool {
+		for _, o := range outs {
+			if CountValue(o.value) == 3 {
+				return true
+			}
+			if CountValue(o.value) == 4 {
+				t.Fatal("sessions merged across the inactivity gap")
+			}
+		}
+		return false
+	})
+}
+
+func TestQ12TumblingBidCounts(t *testing.T) {
+	h := startQuery(t, 12)
+	base := int64(7_000_000_000_000_000) // multiple of 10s
+	for i := 0; i < 4; i++ {
+		h.send((&Bid{Auction: 1, Bidder: 9, Price: 1, DateTime: base + int64(i)*1_000_000}).Encode())
+	}
+	time.Sleep(300 * time.Millisecond)
+	// Advance the watermark well past the window + grace.
+	h.send((&Bid{Auction: 1, Bidder: 9, Price: 1, DateTime: base + 60_000_000}).Encode())
+	h.waitFor("window of 4 bids fires", func(outs []outRecord, _ map[string][]byte) bool {
+		for _, o := range outs {
+			if CountValue(o.value) == 4 {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+func TestExtendedQueriesUnderLoad(t *testing.T) {
+	for _, info := range ExtendedQueries {
+		info := info
+		t.Run(fmt.Sprintf("q%d", info.Number), func(t *testing.T) {
+			h := startQuery(t, info.Number)
+			g := NewGenerator(uint64(info.Number))
+			base := time.Now().UnixMicro()
+			for i := 0; i < 3000; i++ {
+				ev := g.Next(base + int64(i)*50_000)
+				h.seq++
+				if err := h.app.Send(EventStream, []byte(fmt.Sprint(h.seq)), ev.Payload, base+int64(i)*50_000); err != nil {
+					t.Fatal(err)
+				}
+			}
+			h.waitFor("output flows", func(outs []outRecord, _ map[string][]byte) bool {
+				return len(outs) > 0
+			})
+		})
+	}
+}

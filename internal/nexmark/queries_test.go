@@ -1,0 +1,340 @@
+package nexmark
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"impeller"
+)
+
+// queryHarness runs one query on a zero-latency cluster and collects
+// its gated output.
+type queryHarness struct {
+	t    *testing.T
+	app  *impeller.App
+	mu   sync.Mutex
+	outs []outRecord
+	// last maps output key -> latest value (table semantics).
+	last map[string][]byte
+	seq  uint64
+}
+
+type outRecord struct {
+	key, value []byte
+}
+
+func startQuery(t *testing.T, q int) *queryHarness {
+	t.Helper()
+	cluster := impeller.NewCluster(impeller.ClusterConfig{
+		CommitInterval:       20 * time.Millisecond,
+		DefaultParallelism:   2,
+		IngressFlushInterval: 4 * time.Millisecond,
+	})
+	t.Cleanup(cluster.Close)
+	b, err := Build(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := cluster.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(app.Stop)
+	h := &queryHarness{t: t, app: app, last: make(map[string][]byte)}
+	app.Sink(OutputStream(q), true, func(r impeller.Record, _ impeller.TaskID, _ time.Time) {
+		h.mu.Lock()
+		h.outs = append(h.outs, outRecord{r.Key, r.Value})
+		h.last[string(r.Key)] = r.Value
+		h.mu.Unlock()
+	})
+	return h
+}
+
+func (h *queryHarness) send(payload []byte) {
+	h.seq++
+	et, err := EventTime(payload)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	if err := h.app.Send(EventStream, []byte(fmt.Sprint(h.seq)), payload, et); err != nil {
+		h.t.Fatal(err)
+	}
+}
+
+// waitFor polls until pred over the collected output holds.
+func (h *queryHarness) waitFor(desc string, pred func(outs []outRecord, last map[string][]byte) bool) {
+	h.t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		h.mu.Lock()
+		ok := pred(h.outs, h.last)
+		n := len(h.outs)
+		h.mu.Unlock()
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			h.t.Fatalf("%s never satisfied (%d outputs)", desc, n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestQ1ConvertsCurrency(t *testing.T) {
+	h := startQuery(t, 1)
+	now := time.Now().UnixMicro()
+	h.send((&Person{ID: 1, Name: "p", DateTime: now}).Encode()) // ignored
+	h.send((&Bid{Auction: 1, Price: 1000, DateTime: now}).Encode())
+	h.send((&Bid{Auction: 2, Price: 2000, DateTime: now}).Encode())
+	h.waitFor("2 converted bids", func(outs []outRecord, _ map[string][]byte) bool {
+		if len(outs) != 2 {
+			return false
+		}
+		prices := map[uint64]bool{}
+		for _, o := range outs {
+			bid, err := DecodeBid(o.value)
+			if err != nil {
+				t.Fatalf("bad output bid: %v", err)
+			}
+			prices[bid.Price] = true
+		}
+		return prices[908] && prices[1816]
+	})
+}
+
+func TestQ2FiltersByAuctionID(t *testing.T) {
+	h := startQuery(t, 2)
+	now := time.Now().UnixMicro()
+	h.send((&Bid{Auction: 123, Price: 1, DateTime: now}).Encode())
+	h.send((&Bid{Auction: 124, Price: 2, DateTime: now}).Encode())
+	h.send((&Bid{Auction: 246, Price: 3, DateTime: now}).Encode())
+	h.send((&Bid{Auction: 5, Price: 4, DateTime: now}).Encode())
+	h.waitFor("2 matching bids", func(outs []outRecord, _ map[string][]byte) bool {
+		if len(outs) < 2 {
+			return false
+		}
+		if len(outs) > 2 {
+			t.Fatalf("too many outputs: %d", len(outs))
+		}
+		for _, o := range outs {
+			bid, err := DecodeBid(o.value)
+			if err != nil || bid.Auction%123 != 0 {
+				t.Fatalf("unexpected output %v %v", bid, err)
+			}
+		}
+		return true
+	})
+}
+
+func TestQ3JoinsSellersInTargetStates(t *testing.T) {
+	h := startQuery(t, 3)
+	now := time.Now().UnixMicro()
+	h.send((&Person{ID: 1, Name: "alice", City: "Portland", State: "OR", DateTime: now}).Encode())
+	h.send((&Person{ID: 2, Name: "bob", City: "Austin", State: "TX", DateTime: now}).Encode()) // filtered state
+	h.send((&Auction{ID: 10, Seller: 1, Category: 10, DateTime: now}).Encode())
+	h.send((&Auction{ID: 11, Seller: 1, Category: 5, DateTime: now}).Encode())  // filtered category
+	h.send((&Auction{ID: 12, Seller: 2, Category: 10, DateTime: now}).Encode()) // seller filtered
+	h.waitFor("alice's category-10 auction", func(outs []outRecord, _ map[string][]byte) bool {
+		for _, o := range outs {
+			r, err := DecodeQ3(o.value)
+			if err != nil {
+				continue
+			}
+			if r.Name == "alice" && r.State == "OR" && r.Auction == 10 {
+				return true
+			}
+			if r.Name == "bob" || r.Auction == 11 || r.Auction == 12 {
+				t.Fatalf("filtered row leaked: %+v", r)
+			}
+		}
+		return false
+	})
+}
+
+func TestQ4AveragesWinningBidPerCategory(t *testing.T) {
+	h := startQuery(t, 4)
+	now := time.Now().UnixMicro()
+	// Two auctions in category 3 with winning bids 200 and 100 → avg 150.
+	h.send((&Auction{ID: 1, Seller: 9, Category: 3, DateTime: now}).Encode())
+	h.send((&Auction{ID: 2, Seller: 9, Category: 3, DateTime: now}).Encode())
+	h.send((&Bid{Auction: 1, Price: 100, DateTime: now + 1000}).Encode())
+	h.send((&Bid{Auction: 1, Price: 200, DateTime: now + 2000}).Encode())
+	h.send((&Bid{Auction: 2, Price: 100, DateTime: now + 3000}).Encode())
+	h.waitFor("category 3 average = 150", func(_ []outRecord, last map[string][]byte) bool {
+		v, ok := last[string(u64(3))]
+		return ok && getU64(v) == 150
+	})
+}
+
+func TestQ5FindsHotAuction(t *testing.T) {
+	h := startQuery(t, 5)
+	base := int64(2_000_000_000_000_000) // fixed event-time base, µs
+	h.send((&Auction{ID: 1, DateTime: base}).Encode())
+	h.send((&Auction{ID: 2, DateTime: base}).Encode())
+	// Auction 2 gets 3 bids, auction 1 gets 1, inside one 10s window.
+	h.send((&Bid{Auction: 2, Price: 1, DateTime: base + 1_000_000}).Encode())
+	h.send((&Bid{Auction: 2, Price: 2, DateTime: base + 1_100_000}).Encode())
+	h.send((&Bid{Auction: 2, Price: 3, DateTime: base + 1_200_000}).Encode())
+	h.send((&Bid{Auction: 1, Price: 4, DateTime: base + 1_300_000}).Encode())
+	// Let the early bids flow through before advancing the watermark:
+	// records from different upstream tasks interleave arbitrarily, so
+	// a watermark bid processed first would finalize the windows before
+	// the counts exist.
+	time.Sleep(300 * time.Millisecond)
+	// Advance event time far past the windows so they finalize. The
+	// watermark is per task, so both auctions' partitions need a
+	// late-timestamped bid.
+	h.send((&Bid{Auction: 1, Price: 5, DateTime: base + 40_000_000}).Encode())
+	h.send((&Bid{Auction: 2, Price: 6, DateTime: base + 40_000_000}).Encode())
+	defer func() {
+		if t.Failed() {
+			h.mu.Lock()
+			for _, o := range h.outs {
+				t.Logf("output: auction=%d count=%d len=%d", getU64(o.value), getU64(o.value[8:]), len(o.value))
+			}
+			h.mu.Unlock()
+		}
+	}()
+	h.waitFor("auction 2 is hottest", func(outs []outRecord, _ map[string][]byte) bool {
+		for _, o := range outs {
+			// value = auction id | count | witness byte
+			if len(o.value) >= 16 && getU64(o.value) == 2 && getU64(o.value[8:]) == 3 {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+func TestQ6AveragesSellerLastAuctions(t *testing.T) {
+	h := startQuery(t, 6)
+	now := time.Now().UnixMicro()
+	// Seller 7: auction 1 wins at 100, auction 2 wins at 300 → avg 200.
+	h.send((&Auction{ID: 1, Seller: 7, Category: 1, DateTime: now}).Encode())
+	h.send((&Auction{ID: 2, Seller: 7, Category: 1, DateTime: now}).Encode())
+	h.send((&Bid{Auction: 1, Price: 100, DateTime: now + 1000}).Encode())
+	h.send((&Bid{Auction: 2, Price: 300, DateTime: now + 2000}).Encode())
+	h.waitFor("seller 7 average = 200", func(_ []outRecord, last map[string][]byte) bool {
+		v, ok := last[string(u64(7))]
+		return ok && getU64(v) == 200
+	})
+}
+
+func TestQ6KeepsOnlyLastTen(t *testing.T) {
+	// Pure accumulator test: 12 auctions → only the last 10 count.
+	var acc []byte
+	for i := 1; i <= 12; i++ {
+		w := &winningBid{Auction: uint64(i), Seller: 1, Price: uint64(i * 10)}
+		acc = q6Add(nil, encodeWinning(w), acc)
+	}
+	if n := len(acc) / 16; n != 10 {
+		t.Fatalf("kept %d entries, want 10", n)
+	}
+	// Oldest two (10, 20) evicted: first remaining is auction 3.
+	if getU64(acc) != 3 {
+		t.Fatalf("first remaining auction = %d, want 3", getU64(acc))
+	}
+	// Updating an existing auction must replace, not duplicate.
+	acc = q6Add(nil, encodeWinning(&winningBid{Auction: 5, Price: 999}), acc)
+	if n := len(acc) / 16; n != 10 {
+		t.Fatalf("after update kept %d entries, want 10", n)
+	}
+	found := 0
+	for i := 0; i+16 <= len(acc); i += 16 {
+		if getU64(acc[i:]) == 5 {
+			found++
+			if getU64(acc[i+8:]) != 999 {
+				t.Fatalf("auction 5 price = %d", getU64(acc[i+8:]))
+			}
+		}
+	}
+	if found != 1 {
+		t.Fatalf("auction 5 appears %d times", found)
+	}
+	// Subtract removes an entry.
+	acc = q6Subtract(nil, encodeWinning(&winningBid{Auction: 5}), acc)
+	for i := 0; i+16 <= len(acc); i += 16 {
+		if getU64(acc[i:]) == 5 {
+			t.Fatal("subtract left auction 5 behind")
+		}
+	}
+}
+
+func TestQ7HighestBidPerMinute(t *testing.T) {
+	h := startQuery(t, 7)
+	base := int64(3_000_000_000_000_000)
+	h.send((&Bid{Auction: 1, Bidder: 4, Price: 500, DateTime: base + 1_000_000}).Encode())
+	h.send((&Bid{Auction: 2, Bidder: 5, Price: 900, DateTime: base + 2_000_000}).Encode())
+	h.send((&Bid{Auction: 3, Bidder: 6, Price: 300, DateTime: base + 3_000_000}).Encode())
+	// Let the in-window bids process before the watermark-advancing bid
+	// (cross-substream interleaving is arbitrary).
+	time.Sleep(300 * time.Millisecond)
+	// Advance past the minute so the window fires.
+	h.send((&Bid{Auction: 4, Bidder: 7, Price: 100, DateTime: base + 200_000_000}).Encode())
+	h.waitFor("winning bid of 900", func(outs []outRecord, _ map[string][]byte) bool {
+		for _, o := range outs {
+			bid, err := DecodeBid(o.value)
+			if err == nil && bid.Price == 900 && bid.Auction == 2 {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+func TestQ8JoinsNewPersonsWithNewAuctions(t *testing.T) {
+	h := startQuery(t, 8)
+	base := int64(4_000_000_000_000_000)
+	h.send((&Person{ID: 1, Name: "carol", DateTime: base}).Encode())
+	h.send((&Person{ID: 2, Name: "dave", DateTime: base}).Encode())
+	// carol opens an auction 2s after registering: joins.
+	h.send((&Auction{ID: 20, Seller: 1, DateTime: base + 2_000_000}).Encode())
+	// dave opens one 30s later: outside the 10s window.
+	h.send((&Auction{ID: 21, Seller: 2, DateTime: base + 30_000_000}).Encode())
+	h.waitFor("carol joined", func(outs []outRecord, _ map[string][]byte) bool {
+		for _, o := range outs {
+			name, p, err := readString(o.value, 0)
+			if err != nil || p+8 != len(o.value) {
+				continue
+			}
+			if name == "dave" {
+				t.Fatal("out-of-window join leaked")
+			}
+			if name == "carol" && getU64(o.value[p:]) == 20 {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// TestAllQueriesRunUnderLoad smoke-tests every query against the real
+// generator at modest volume, verifying tasks stay healthy and outputs
+// flow for the stateful queries.
+func TestAllQueriesRunUnderLoad(t *testing.T) {
+	for _, info := range Queries {
+		info := info
+		t.Run(fmt.Sprintf("q%d", info.Number), func(t *testing.T) {
+			h := startQuery(t, info.Number)
+			g := NewGenerator(uint64(info.Number))
+			base := time.Now().UnixMicro()
+			for i := 0; i < 4000; i++ {
+				// Compress event time so windows fire during the run.
+				ev := g.Next(base + int64(i)*50_000)
+				h.seq++
+				if err := h.app.Send(EventStream, []byte(fmt.Sprint(h.seq)), ev.Payload, base+int64(i)*50_000); err != nil {
+					t.Fatal(err)
+				}
+			}
+			h.waitFor("output flows", func(outs []outRecord, _ map[string][]byte) bool {
+				return len(outs) > 0
+			})
+			m := h.app.Metrics()
+			if m.Processed == 0 || m.Markers == 0 {
+				t.Fatalf("no processing recorded: %+v", m)
+			}
+		})
+	}
+}

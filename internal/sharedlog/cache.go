@@ -1,0 +1,101 @@
+package sharedlog
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// readCache is the client-side record cache (paper §5.3: "Boki has a
+// storage cache on function nodes that reduces IO traffic"). Reads that
+// hit skip the simulated storage round trip. The cache pays off where
+// one record is read by many consumers — most of all progress markers,
+// which every downstream substream reads (§3.3.1) — and during recovery
+// replays of recently written change-log records.
+//
+// A plain LRU over LSN → record; safe for concurrent use.
+type readCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recent; values are cacheEntry
+	items    map[LSN]*list.Element
+
+	hits, misses atomic.Uint64
+}
+
+type cacheEntry struct {
+	lsn LSN
+	rec *Record
+}
+
+func newReadCache(capacity int) *readCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &readCache{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[LSN]*list.Element, capacity),
+	}
+}
+
+// get returns the cached record and whether it was present.
+func (c *readCache) get(lsn LSN) (*Record, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[lsn]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(cacheEntry).rec, true
+}
+
+// put inserts a record, evicting the least recently used beyond
+// capacity.
+func (c *readCache) put(lsn LSN, rec *Record) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[lsn]; ok {
+		c.order.MoveToFront(el)
+		el.Value = cacheEntry{lsn: lsn, rec: rec}
+		return
+	}
+	c.items[lsn] = c.order.PushFront(cacheEntry{lsn: lsn, rec: rec})
+	for c.order.Len() > c.capacity {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(cacheEntry).lsn)
+	}
+}
+
+// invalidate drops every cached record below the trim horizon.
+func (c *readCache) invalidate(below LSN) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for lsn, el := range c.items {
+		if lsn < below {
+			c.order.Remove(el)
+			delete(c.items, lsn)
+		}
+	}
+}
+
+// Stats reports cache hits and misses since the log opened.
+func (c *readCache) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}

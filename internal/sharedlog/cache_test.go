@@ -1,0 +1,110 @@
+package sharedlog
+
+import (
+	"testing"
+	"time"
+
+	"impeller/internal/sim"
+)
+
+func TestReadCacheHitSkipsLatency(t *testing.T) {
+	l := Open(Config{
+		ReadLatency: sim.FixedLatency(5 * time.Millisecond),
+		CacheSize:   64,
+	})
+	defer l.Close()
+	mustAppend(t, l, "payload", "t")
+
+	start := time.Now()
+	if _, err := l.ReadNext("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	cold := time.Since(start)
+	if cold < 5*time.Millisecond {
+		t.Fatalf("cold read took %v, want >= 5ms", cold)
+	}
+
+	start = time.Now()
+	if _, err := l.ReadNext("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	if warm := time.Since(start); warm >= 5*time.Millisecond {
+		t.Fatalf("warm read took %v, want < 5ms", warm)
+	}
+	hits, misses := l.CacheStats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses", hits, misses)
+	}
+}
+
+func TestReadCacheLRUEviction(t *testing.T) {
+	c := newReadCache(2)
+	r := func(lsn LSN) *Record { return &Record{LSN: lsn} }
+	c.put(1, r(1))
+	c.put(2, r(2))
+	if _, ok := c.get(1); !ok { // 1 becomes most recent
+		t.Fatal("miss on fresh entry")
+	}
+	c.put(3, r(3)) // evicts 2
+	if _, ok := c.get(2); ok {
+		t.Fatal("LRU entry not evicted")
+	}
+	if _, ok := c.get(1); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if _, ok := c.get(3); !ok {
+		t.Fatal("new entry missing")
+	}
+}
+
+func TestReadCacheInvalidateOnTrim(t *testing.T) {
+	l := Open(Config{CacheSize: 16})
+	defer l.Close()
+	lsn := mustAppend(t, l, "x", "t")
+	if _, err := l.ReadNext("t", 0); err != nil { // populate
+		t.Fatal(err)
+	}
+	if err := l.Trim(lsn + 1); err != nil {
+		t.Fatal(err)
+	}
+	if rec, ok := l.cache.get(lsn); ok {
+		t.Fatalf("trimmed record still cached: %v", rec)
+	}
+}
+
+func TestNilCacheIsNoop(t *testing.T) {
+	var c *readCache
+	if _, ok := c.get(1); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.put(1, &Record{}) // must not panic
+	c.invalidate(10)
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatal("nil cache has stats")
+	}
+}
+
+func TestCacheSharedAcrossConsumers(t *testing.T) {
+	// The marker-fanout case: one multi-tag record read through several
+	// tags pays storage latency once.
+	l := Open(Config{ReadLatency: sim.FixedLatency(3 * time.Millisecond), CacheSize: 8})
+	defer l.Close()
+	mustAppend(t, l, "marker", "a", "b", "c")
+	if _, err := l.ReadNext("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := l.ReadNext("b", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.ReadNext("c", 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d >= 3*time.Millisecond {
+		t.Fatalf("fanout reads not served from cache: %v", d)
+	}
+	hits, _ := l.CacheStats()
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2", hits)
+	}
+}

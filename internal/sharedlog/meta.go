@@ -1,0 +1,67 @@
+package sharedlog
+
+import "sync"
+
+// MetaStore is the key-value metadata attached to a shared log's
+// configuration state (paper §3.4: "the shared log itself has key-value
+// metadata"). Impeller's task manager maps each task id to an instance
+// number here and atomically increments it when restarting a task;
+// conditional appends are guarded against these values to fence zombies.
+//
+// Values are uint64 counters — all Impeller needs — with atomic
+// compare-and-swap and increment. The zero value is not usable; call
+// NewMetaStore.
+type MetaStore struct {
+	mu sync.Mutex
+	m  map[string]uint64
+}
+
+// NewMetaStore returns an empty metadata store.
+func NewMetaStore() *MetaStore {
+	return &MetaStore{m: make(map[string]uint64)}
+}
+
+// Get returns the value for key and whether it is set.
+func (s *MetaStore) Get(key string) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[key]
+	return v, ok
+}
+
+// Set stores value for key unconditionally.
+func (s *MetaStore) Set(key string, value uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = value
+}
+
+// CompareAndSwap sets key to new iff it currently holds old. A missing
+// key is treated as 0 with ok=false: CAS on a missing key succeeds only
+// when old == 0.
+func (s *MetaStore) CompareAndSwap(key string, old, new uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m[key] != old {
+		return false
+	}
+	s.m[key] = new
+	return true
+}
+
+// Increment atomically adds 1 to key (missing keys start at 0) and
+// returns the new value. The task manager bumps instance numbers this
+// way so no two live instances can share a number.
+func (s *MetaStore) Increment(key string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key]++
+	return s.m[key]
+}
+
+// Delete removes key.
+func (s *MetaStore) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, key)
+}

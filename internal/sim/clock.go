@@ -1,0 +1,108 @@
+// Package sim provides the simulation substrate used by Impeller's
+// in-process cluster: clocks, deterministic randomness, network latency
+// models, and fault injection.
+//
+// The paper evaluates Impeller on a 13-node EC2 cluster. This repository
+// reproduces the deployment in a single process: each "node" is a goroutine
+// group, and every cross-node interaction (log append, selective read,
+// coordinator RPC) is charged a latency drawn from a seeded distribution.
+// Keeping the randomness seeded makes experiments repeatable.
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time so tests can run instantaneously while benchmarks
+// run against the wall clock. The zero value is not usable; use RealClock
+// or NewManualClock.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks for at least d (or advances virtual time by d).
+	Sleep(d time.Duration)
+	// After returns a channel that fires once d has elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// RealClock is the wall clock. Its zero value is ready to use.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (RealClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// ManualClock is a virtual clock advanced explicitly by tests. Sleepers
+// wake when Advance moves time past their deadline.
+type ManualClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []waiter
+}
+
+type waiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// NewManualClock returns a ManualClock starting at start.
+func NewManualClock(start time.Time) *ManualClock {
+	return &ManualClock{now: start}
+}
+
+// Now implements Clock.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock. It blocks until Advance moves the clock past
+// the deadline. A Sleep with d <= 0 returns immediately.
+func (c *ManualClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-c.After(d)
+}
+
+// After implements Clock.
+func (c *ManualClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.waiters = append(c.waiters, waiter{deadline: c.now.Add(d), ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward by d, waking any waiter whose deadline
+// has passed.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	now := c.now
+	remaining := c.waiters[:0]
+	var fired []chan time.Time
+	for _, w := range c.waiters {
+		if !w.deadline.After(now) {
+			fired = append(fired, w.ch)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	c.waiters = remaining
+	c.mu.Unlock()
+	for _, ch := range fired {
+		ch <- now
+	}
+}

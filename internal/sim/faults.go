@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrPartitioned is returned by a network operation crossing a partition.
+var ErrPartitioned = errors.New("sim: network partitioned")
+
+// ErrCrashed is returned by an operation against a crashed node.
+var ErrCrashed = errors.New("sim: node crashed")
+
+// FaultInjector tracks the health of named nodes and pairwise partitions.
+// Components consult it before simulated cross-node interactions. It is
+// safe for concurrent use; the zero value is an injector with no faults.
+type FaultInjector struct {
+	mu         sync.RWMutex
+	crashed    map[string]bool
+	partitions map[[2]string]bool
+}
+
+// NewFaultInjector returns an injector with no active faults.
+func NewFaultInjector() *FaultInjector {
+	return &FaultInjector{
+		crashed:    make(map[string]bool),
+		partitions: make(map[[2]string]bool),
+	}
+}
+
+// Crash marks node as failed; subsequent Check calls involving it fail.
+func (f *FaultInjector) Crash(node string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed == nil {
+		f.crashed = make(map[string]bool)
+	}
+	f.crashed[node] = true
+}
+
+// Recover clears a crash for node.
+func (f *FaultInjector) Recover(node string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.crashed, node)
+}
+
+// Partition severs the link between a and b in both directions.
+func (f *FaultInjector) Partition(a, b string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.partitions == nil {
+		f.partitions = make(map[[2]string]bool)
+	}
+	f.partitions[pairKey(a, b)] = true
+}
+
+// Heal restores the link between a and b.
+func (f *FaultInjector) Heal(a, b string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.partitions, pairKey(a, b))
+}
+
+// Crashed reports whether node is currently crashed.
+func (f *FaultInjector) Crashed(node string) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.crashed[node]
+}
+
+// Check validates an interaction from node a to node b, returning
+// ErrCrashed or ErrPartitioned when a fault is active. A nil injector
+// performs no checks, so components can treat fault injection as optional.
+func (f *FaultInjector) Check(a, b string) error {
+	if f == nil {
+		return nil
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.crashed[a] || f.crashed[b] {
+		return ErrCrashed
+	}
+	if f.partitions[pairKey(a, b)] {
+		return ErrPartitioned
+	}
+	return nil
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"math"
+	"time"
+)
+
+// LatencyModel samples a latency for one simulated network interaction.
+// Implementations must be safe for concurrent use.
+type LatencyModel interface {
+	Sample() time.Duration
+}
+
+// ZeroLatency charges no latency; unit tests use it so they run instantly.
+type ZeroLatency struct{}
+
+// Sample implements LatencyModel.
+func (ZeroLatency) Sample() time.Duration { return 0 }
+
+// FixedLatency charges a constant latency.
+type FixedLatency time.Duration
+
+// Sample implements LatencyModel.
+func (f FixedLatency) Sample() time.Duration { return time.Duration(f) }
+
+// LogNormalLatency models a datacenter RPC: a lognormal body with a small
+// probability of a heavy tail event (e.g. a TCP retransmit or GC pause).
+// The paper's Table 2 shows Boki append-to-read p50 ≈ 2.5–2.7 ms with
+// p99 ≈ 3.6–3.8 ms; DefaultBokiLatency reproduces that shape.
+type LogNormalLatency struct {
+	R *Rand
+	// Median is the p50 of the body.
+	Median time.Duration
+	// Sigma is the lognormal shape parameter (0.2–0.4 typical for RPCs).
+	Sigma float64
+	// TailProb is the probability of a tail event.
+	TailProb float64
+	// TailScale multiplies the sampled latency on a tail event.
+	TailScale float64
+}
+
+// Sample implements LatencyModel.
+func (l *LogNormalLatency) Sample() time.Duration {
+	mu := math.Log(float64(l.Median))
+	v := math.Exp(mu + l.Sigma*l.R.NormFloat64())
+	if l.TailProb > 0 && l.R.Float64() < l.TailProb {
+		v *= l.TailScale
+	}
+	return time.Duration(v)
+}
+
+// DefaultBokiLatency returns the latency model used for the shared log's
+// append and read paths, calibrated against the paper's Table 2.
+func DefaultBokiLatency(r *Rand) *LogNormalLatency {
+	return &LogNormalLatency{R: r, Median: 1300 * time.Microsecond, Sigma: 0.18, TailProb: 0.01, TailScale: 1.9}
+}
+
+// DefaultKafkaLatency returns the latency model for the Kafka-like log,
+// calibrated so produce-to-consume p50 is ~1.3–1.8x lower than the shared
+// log but with a heavier tail at low rates, matching Table 2.
+func DefaultKafkaLatency(r *Rand) *LogNormalLatency {
+	return &LogNormalLatency{R: r, Median: 800 * time.Microsecond, Sigma: 0.22, TailProb: 0.015, TailScale: 2.6}
+}
+
+// Scale wraps a model and multiplies every sample; experiments use it to
+// run the whole cluster at a fraction of real-time cost.
+type Scale struct {
+	M LatencyModel
+	F float64
+}
+
+// Sample implements LatencyModel.
+func (s Scale) Sample() time.Duration {
+	return time.Duration(float64(s.M.Sample()) * s.F)
+}

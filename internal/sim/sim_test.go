@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestManualClockAdvanceWakesSleepers(t *testing.T) {
+	c := NewManualClock(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		c.Sleep(10 * time.Millisecond)
+		close(done)
+	}()
+	// Give the sleeper a chance to register.
+	for i := 0; i < 100; i++ {
+		c.mu.Lock()
+		n := len(c.waiters)
+		c.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Advance(5 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("sleeper woke before deadline")
+	case <-time.After(10 * time.Millisecond):
+	}
+	c.Advance(5 * time.Millisecond)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("sleeper did not wake after deadline")
+	}
+}
+
+func TestManualClockNow(t *testing.T) {
+	start := time.Unix(100, 0)
+	c := NewManualClock(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", c.Now(), start)
+	}
+	c.Advance(3 * time.Second)
+	if got, want := c.Now(), start.Add(3*time.Second); !got.Equal(want) {
+		t.Fatalf("Now = %v, want %v", got, want)
+	}
+}
+
+func TestManualClockAfterZero(t *testing.T) {
+	c := NewManualClock(time.Unix(0, 0))
+	select {
+	case <-c.After(0):
+	case <-time.After(time.Second):
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	var c RealClock
+	before := c.Now()
+	c.Sleep(time.Millisecond)
+	if !c.Now().After(before) {
+		t.Fatal("real clock did not advance")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("sequence diverged at %d", i)
+		}
+	}
+}
+
+func TestRandForkIndependence(t *testing.T) {
+	a := NewRand(7)
+	f := a.Fork()
+	// Forked stream must not mirror the parent.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == f.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked stream mirrors parent (%d/100 equal)", same)
+	}
+}
+
+func TestRandIntnBounds(t *testing.T) {
+	r := NewRand(1)
+	if err := quick.Check(func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRandNormFloat64Moments(t *testing.T) {
+	r := NewRand(9)
+	n := 100000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if mean < -0.02 || mean > 0.02 {
+		t.Fatalf("mean = %v, want ~0", mean)
+	}
+	if variance < 0.95 || variance > 1.05 {
+		t.Fatalf("variance = %v, want ~1", variance)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRand(11)
+	z := NewZipf(r, 100, 1.0)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("zipf not skewed: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+	// Rank-1 frequency should be roughly 2x rank-2 at s=1.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.5 || ratio > 2.8 {
+		t.Fatalf("rank1/rank2 ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	r := NewRand(13)
+	z := NewZipf(r, 10, 0)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("bucket %d count %d not ~uniform", i, c)
+		}
+	}
+}
+
+func TestLatencyModels(t *testing.T) {
+	if d := (ZeroLatency{}).Sample(); d != 0 {
+		t.Fatalf("ZeroLatency = %v", d)
+	}
+	if d := FixedLatency(time.Millisecond).Sample(); d != time.Millisecond {
+		t.Fatalf("FixedLatency = %v", d)
+	}
+	r := NewRand(5)
+	m := DefaultBokiLatency(r)
+	var total time.Duration
+	n := 10000
+	for i := 0; i < n; i++ {
+		d := m.Sample()
+		if d <= 0 {
+			t.Fatalf("non-positive latency %v", d)
+		}
+		total += d
+	}
+	mean := total / time.Duration(n)
+	if mean < 800*time.Microsecond || mean > 2500*time.Microsecond {
+		t.Fatalf("boki mean latency %v outside calibration window", mean)
+	}
+}
+
+func TestScaleLatency(t *testing.T) {
+	s := Scale{M: FixedLatency(time.Millisecond), F: 0.5}
+	if d := s.Sample(); d != 500*time.Microsecond {
+		t.Fatalf("scaled = %v, want 500µs", d)
+	}
+}
+
+func TestFaultInjectorCrash(t *testing.T) {
+	f := NewFaultInjector()
+	if err := f.Check("a", "b"); err != nil {
+		t.Fatalf("healthy check failed: %v", err)
+	}
+	f.Crash("b")
+	if !f.Crashed("b") {
+		t.Fatal("Crashed(b) = false after Crash")
+	}
+	if err := f.Check("a", "b"); err != ErrCrashed {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	f.Recover("b")
+	if err := f.Check("a", "b"); err != nil {
+		t.Fatalf("check after recover failed: %v", err)
+	}
+}
+
+func TestFaultInjectorPartitionSymmetric(t *testing.T) {
+	f := NewFaultInjector()
+	f.Partition("x", "y")
+	if err := f.Check("x", "y"); err != ErrPartitioned {
+		t.Fatalf("x->y err = %v", err)
+	}
+	if err := f.Check("y", "x"); err != ErrPartitioned {
+		t.Fatalf("y->x err = %v", err)
+	}
+	if err := f.Check("x", "z"); err != nil {
+		t.Fatalf("unrelated link failed: %v", err)
+	}
+	f.Heal("y", "x")
+	if err := f.Check("x", "y"); err != nil {
+		t.Fatalf("healed link failed: %v", err)
+	}
+}
+
+func TestNilFaultInjectorIsNoFault(t *testing.T) {
+	var f *FaultInjector
+	if err := f.Check("a", "b"); err != nil {
+		t.Fatalf("nil injector check = %v", err)
+	}
+	if f.Crashed("a") {
+		t.Fatal("nil injector reports crash")
+	}
+}
+
+func TestZeroValueFaultInjector(t *testing.T) {
+	var f FaultInjector
+	if err := f.Check("a", "b"); err != nil {
+		t.Fatalf("zero value check = %v", err)
+	}
+	f.Crash("a") // must not panic thanks to lazy map init
+	if err := f.Check("a", "b"); err != ErrCrashed {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+}
+
+func TestFaultInjectorConcurrency(t *testing.T) {
+	f := NewFaultInjector()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				switch j % 4 {
+				case 0:
+					f.Crash("n")
+				case 1:
+					f.Recover("n")
+				case 2:
+					f.Partition("a", "b")
+				default:
+					_ = f.Check("a", "b")
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
