@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: check build vet fmt test race bench
+
+# check is the full gate: build, vet, formatting, unit tests, and the
+# race-detector run over the packages with real concurrency.
+check: build vet fmt test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails (and lists the offenders) if any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+# race covers the shared log and the runtime core, where appenders,
+# blocking readers, trims, and fault injection interleave.
+race:
+	$(GO) test -race ./internal/sharedlog/... ./internal/core/...
+
+# bench runs the sharedlog micro-benchmarks (no -race; see results/).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/sharedlog/

@@ -255,6 +255,11 @@ func (c *Cluster) Env() *core.Env { return c.env }
 // Log exposes the cluster's shared log.
 func (c *Cluster) Log() *sharedlog.Log { return c.log }
 
+// LogStats snapshots the shared log's observability counters (appends,
+// reads by kind, cache traffic, sequencer cuts, reader wakeups); the
+// benchmark harness records them with every measured point.
+func (c *Cluster) LogStats() sharedlog.Stats { return c.log.Stats() }
+
 // Checkpoints exposes the checkpoint store.
 func (c *Cluster) Checkpoints() *kvstore.Store { return c.ckpt }
 

@@ -37,10 +37,14 @@ func WriteTable2CSV(w io.Writer, rows []Table2Row) error {
 			us(r.BokiP50), us(r.BokiP99),
 			us(r.KafkaP50), us(r.KafkaP99),
 			fmt.Sprintf("%.3f", r.SlowdownP50), fmt.Sprintf("%.3f", r.SlowdownP99),
+			strconv.FormatUint(r.BokiLog.Appends, 10),
+			strconv.FormatUint(r.BokiLog.ReaderWakeups, 10),
+			strconv.FormatUint(r.BokiLog.UsefulWakeups, 10),
 		})
 	}
 	return writeCSV(w,
-		[]string{"rate_aps", "boki_p50_us", "boki_p99_us", "kafka_p50_us", "kafka_p99_us", "slowdown_p50", "slowdown_p99"},
+		[]string{"rate_aps", "boki_p50_us", "boki_p99_us", "kafka_p50_us", "kafka_p99_us", "slowdown_p50", "slowdown_p99",
+			"boki_appends", "boki_wakeups", "boki_useful_wakeups"},
 		out)
 }
 
@@ -56,11 +60,21 @@ func WriteFig7CSV(w io.Writer, series []*Fig7Series) error {
 				us(p.P50), us(p.P99), us(p.Mean),
 				strconv.FormatUint(p.Sent, 10),
 				strconv.FormatUint(p.Received, 10),
+				strconv.FormatUint(p.Log.Appends, 10),
+				strconv.FormatUint(p.Log.ReadNext+p.Log.ReadNextAny+p.Log.ReadExact+p.Log.ReadPrev, 10),
+				strconv.FormatUint(p.Log.CacheHits, 10),
+				strconv.FormatUint(p.Log.CacheMisses, 10),
+				strconv.FormatUint(p.Log.SequencerCuts, 10),
+				fmt.Sprintf("%.2f", p.Log.MeanCutBatch),
+				strconv.FormatUint(p.Log.ReaderWakeups, 10),
+				strconv.FormatUint(p.Log.UsefulWakeups, 10),
 			})
 		}
 	}
 	return writeCSV(w,
-		[]string{"query", "protocol", "rate_eps", "p50_us", "p99_us", "mean_us", "sent", "received"},
+		[]string{"query", "protocol", "rate_eps", "p50_us", "p99_us", "mean_us", "sent", "received",
+			"log_appends", "log_reads", "cache_hits", "cache_misses",
+			"seq_cuts", "mean_cut_batch", "wakeups", "useful_wakeups"},
 		out)
 }
 

@@ -9,6 +9,7 @@ import (
 	"impeller"
 	"impeller/internal/core"
 	"impeller/internal/nexmark"
+	"impeller/internal/sharedlog"
 )
 
 // RunConfig configures one NEXMark measurement run (one point of
@@ -80,7 +81,11 @@ type RunResult struct {
 	P50, P99 time.Duration
 	Mean     time.Duration
 	Metrics  core.QueryMetrics
-	Elapsed  time.Duration
+	// Log snapshots the shared log's counters at the end of the run:
+	// appends, reads by kind, cache traffic, sequencer cuts, and reader
+	// wakeups (total vs useful — with per-tag waiters the ratio is ~1).
+	Log     sharedlog.Stats
+	Elapsed time.Duration
 }
 
 // String renders the point like the paper's figures report it.
@@ -193,6 +198,7 @@ func RunNexmark(cfg RunConfig) (*RunResult, error) {
 		P99:      hist.Percentile(99),
 		Mean:     hist.Mean(),
 		Metrics:  app.Metrics(),
+		Log:      cluster.LogStats(),
 		Elapsed:  time.Since(start),
 	}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"impeller"
+	"impeller/internal/sharedlog"
 )
 
 // Figure 7 (paper §5.3.1–5.3.3): event-time latency (p50, p99) as a
@@ -111,7 +112,24 @@ func PrintFig7(w io.Writer, series []*Fig7Series) {
 				p.P50.Round(100*time.Microsecond), p.P99.Round(100*time.Microsecond), p.Received)
 		}
 		fmt.Fprintf(w, "%-20s saturation throughput: %d events/s\n", s.Protocol, s.SaturationRate)
+		if n := len(s.Points); n > 0 {
+			ls := s.Points[n-1].Log
+			fmt.Fprintf(w, "%-20s log @%d eps: appends=%d reads=%d cache=%s cuts=%d (mean batch %.1f) wakeups=%d useful=%d\n",
+				s.Protocol, s.Points[n-1].Config.Rate,
+				ls.Appends, ls.ReadNext+ls.ReadNextAny+ls.ReadExact+ls.ReadPrev,
+				cacheHitRate(ls), ls.SequencerCuts, ls.MeanCutBatch,
+				ls.ReaderWakeups, ls.UsefulWakeups)
+		}
 	}
+}
+
+// cacheHitRate formats the client-cache hit ratio for a stats snapshot.
+func cacheHitRate(s sharedlog.Stats) string {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return "off"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(s.CacheHits)/float64(total))
 }
 
 // Figure 8 (paper §5.3.2): p50/p99 at commit intervals 100/50/25/10 ms,

@@ -49,6 +49,10 @@ type Table2Row struct {
 	BokiP50, BokiP99         time.Duration
 	KafkaP50, KafkaP99       time.Duration
 	SlowdownP50, SlowdownP99 float64
+	// BokiLog snapshots the shared log's counters for the Boki side
+	// (appends, reads, wakeups) — each record should wake its one
+	// blocked consumer exactly once.
+	BokiLog sharedlog.Stats
 }
 
 // RunTable2 measures both logs at every rate.
@@ -56,7 +60,7 @@ func RunTable2(cfg Table2Config) ([]Table2Row, error) {
 	cfg = cfg.withDefaults()
 	rows := make([]Table2Row, 0, len(cfg.Rates))
 	for _, rate := range cfg.Rates {
-		boki, err := measureBoki(cfg, rate)
+		boki, bokiStats, err := measureBoki(cfg, rate)
 		if err != nil {
 			return nil, err
 		}
@@ -70,6 +74,7 @@ func RunTable2(cfg Table2Config) ([]Table2Row, error) {
 			BokiP99:  boki.Percentile(99),
 			KafkaP50: kafka.Percentile(50),
 			KafkaP99: kafka.Percentile(99),
+			BokiLog:  bokiStats,
 		}
 		row.SlowdownP50 = float64(row.BokiP50) / float64(row.KafkaP50)
 		row.SlowdownP99 = float64(row.BokiP99) / float64(row.KafkaP99)
@@ -79,7 +84,7 @@ func RunTable2(cfg Table2Config) ([]Table2Row, error) {
 }
 
 // measureBoki appends to the shared log and consumes via a tag read.
-func measureBoki(cfg Table2Config, rate int) (*Hist, error) {
+func measureBoki(cfg Table2Config, rate int) (*Hist, sharedlog.Stats, error) {
 	r := sim.NewRand(cfg.Seed)
 	log := sharedlog.Open(sharedlog.Config{
 		NumShards:     4,
@@ -120,7 +125,7 @@ func measureBoki(cfg Table2Config, rate int) (*Hist, error) {
 		start := time.Now()
 		starts <- start
 		if _, err := log.Append([]sharedlog.Tag{"t2"}, payload); err != nil {
-			return nil, err
+			return nil, sharedlog.Stats{}, err
 		}
 		if wait := interval - time.Since(start); wait > 0 {
 			time.Sleep(wait)
@@ -129,7 +134,7 @@ func measureBoki(cfg Table2Config, rate int) (*Hist, error) {
 	close(starts)
 	cancel()
 	<-done
-	return hist, nil
+	return hist, log.Stats(), nil
 }
 
 // measureKafka produces to a single-partition topic and fetches it.
@@ -197,5 +202,11 @@ func PrintTable2(w io.Writer, rows []Table2Row) {
 			r.SlowdownP50, r.BokiP50.Round(time.Microsecond),
 			r.SlowdownP99, r.BokiP99.Round(time.Microsecond),
 			r.KafkaP50.Round(time.Microsecond), r.KafkaP99.Round(time.Microsecond))
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-4d aps | log appends=%d reads=%d wakeups=%d useful=%d\n",
+			r.Rate, r.BokiLog.Appends,
+			r.BokiLog.ReadNext+r.BokiLog.ReadNextAny+r.BokiLog.ReadExact+r.BokiLog.ReadPrev,
+			r.BokiLog.ReaderWakeups, r.BokiLog.UsefulWakeups)
 	}
 }

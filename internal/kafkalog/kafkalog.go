@@ -114,7 +114,7 @@ type Cluster struct {
 	nextPID   int64
 	txnLog    []txnLogEntry // the coordinator's transaction stream
 	closed    bool
-	notify    chan struct{}
+	done      chan struct{} // closed on Close; unblocks every FetchBlocking
 	closeOnce sync.Once
 }
 
@@ -124,9 +124,34 @@ type txnLogEntry struct {
 	Detail string
 }
 
+// partition carries its own notification channel, so a produce wakes
+// only consumers blocked on that partition — the same discipline as the
+// shared log's per-tag waiters (a broker-wide broadcast would wake every
+// blocked fetch in the cluster for each message).
 type partition struct {
-	mu   sync.Mutex
-	msgs []*Message
+	mu     sync.Mutex
+	msgs   []*Message
+	notify chan struct{} // closed and replaced on visibility changes
+}
+
+func newPartition() *partition {
+	return &partition{notify: make(chan struct{})}
+}
+
+// wakeLocked signals waiters blocked on this partition. Callers hold
+// p.mu and must have changed what a fetch can observe.
+func (p *partition) wakeLocked() {
+	close(p.notify)
+	p.notify = make(chan struct{})
+}
+
+// notifyCh returns the channel the next visibility change will close.
+// Grab it BEFORE the post-registration fetch re-check: any change after
+// the grab closes exactly this channel, so no wakeup is lost.
+func (p *partition) notifyCh() chan struct{} {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.notify
 }
 
 // NewCluster creates an empty cluster.
@@ -136,7 +161,7 @@ func NewCluster(cfg Config) *Cluster {
 		topics:       make(map[string][]*partition),
 		groupOffsets: make(map[string]map[string]Offset),
 		producers:    make(map[string]int32),
-		notify:       make(chan struct{}),
+		done:         make(chan struct{}),
 	}
 }
 
@@ -145,8 +170,7 @@ func (c *Cluster) Close() {
 	c.closeOnce.Do(func() {
 		c.mu.Lock()
 		c.closed = true
-		close(c.notify)
-		c.notify = make(chan struct{})
+		close(c.done)
 		c.mu.Unlock()
 	})
 }
@@ -170,7 +194,7 @@ func (c *Cluster) CreateTopic(topic string, partitions int) error {
 	}
 	ps := make([]*partition, partitions)
 	for i := range ps {
-		ps[i] = &partition{}
+		ps[i] = newPartition()
 	}
 	c.topics[topic] = ps
 	return nil
@@ -194,15 +218,6 @@ func (c *Cluster) partition(topic string, p int) (*partition, error) {
 		return nil, ErrNoTopic
 	}
 	return ps[p], nil
-}
-
-func (c *Cluster) broadcast() {
-	c.mu.Lock()
-	if !c.closed {
-		close(c.notify)
-		c.notify = make(chan struct{})
-	}
-	c.mu.Unlock()
 }
 
 func (c *Cluster) chargeProduce() {
@@ -235,7 +250,6 @@ func (c *Cluster) Produce(topic string, p int, key, value []byte) (Offset, error
 		Value: append([]byte(nil), value...),
 		state: stateCommitted,
 	})
-	c.broadcast()
 	return off, nil
 }
 
@@ -244,6 +258,7 @@ func (p *partition) append(m *Message) Offset {
 	defer p.mu.Unlock()
 	m.Offset = Offset(len(p.msgs))
 	p.msgs = append(p.msgs, m)
+	p.wakeLocked()
 	return m.Offset
 }
 
@@ -265,20 +280,18 @@ func (c *Cluster) FetchBlocking(ctx context.Context, topic string, p int, off Of
 		return nil, err
 	}
 	for {
+		// Register interest first, then re-check: a message that lands
+		// after the fetch closes exactly the grabbed channel.
+		ch := part.notifyCh()
 		if m := part.fetch(off, iso); m != nil {
 			c.chargeFetch()
 			return m, nil
 		}
-		c.mu.Lock()
-		if c.closed {
-			c.mu.Unlock()
-			return nil, ErrClusterClosed
-		}
-		ch := c.notify
-		c.mu.Unlock()
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
+		case <-c.done:
+			return nil, ErrClusterClosed
 		case <-ch:
 		}
 	}
@@ -490,7 +503,6 @@ func (p *Producer) Send(topic string, part int, key, value []byte) (Offset, erro
 		state:      statePending,
 		txn:        p.txnID,
 	})
-	p.c.broadcast()
 	return off, nil
 }
 
@@ -565,7 +577,6 @@ func (p *Producer) Commit() (appends int, err error) {
 	p.c.mu.Unlock()
 	appends++
 	p.inTxn = false
-	p.c.broadcast()
 	return appends, nil
 }
 
@@ -593,7 +604,6 @@ func (p *Producer) Abort() error {
 	p.c.txnLog = append(p.c.txnLog, txnLogEntry{TxnID: p.txnID, Kind: "abort"})
 	p.c.mu.Unlock()
 	p.inTxn = false
-	p.c.broadcast()
 	return nil
 }
 
@@ -603,10 +613,17 @@ func (p *Producer) Abort() error {
 func (p *partition) abortPending(txn string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	changed := false
 	for _, m := range p.msgs {
 		if m.state == statePending && m.txn == txn {
 			m.state = stateAborted
+			changed = true
 		}
+	}
+	if changed {
+		// Read-committed consumers parked at the last stable offset can
+		// now skip past the aborted run.
+		p.wakeLocked()
 	}
 }
 
@@ -626,4 +643,5 @@ func (p *partition) appendControlAndResolve(txn string, commit bool) {
 	}
 	ctl := &Message{Offset: Offset(len(p.msgs)), state: stateControl, txn: txn}
 	p.msgs = append(p.msgs, ctl)
+	p.wakeLocked()
 }

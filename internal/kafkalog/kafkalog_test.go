@@ -480,3 +480,92 @@ func TestPropertyReadCommittedExactness(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFetchBlockingPerPartitionIsolation(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.CreateTopic("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	// A fetcher blocked on partition 1 must sleep through traffic on
+	// partition 0 (notification is per partition, not cluster-wide) and
+	// wake for its own partition's first message.
+	got := make(chan *Message, 1)
+	go func() {
+		m, err := c.FetchBlocking(ctx, "t", 1, 0, ReadUncommitted)
+		if err != nil {
+			t.Errorf("FetchBlocking: %v", err)
+		}
+		got <- m
+	}()
+	time.Sleep(5 * time.Millisecond)
+	for i := 0; i < 20; i++ {
+		if _, err := c.Produce("t", 0, nil, []byte("noise")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case m := <-got:
+		t.Fatalf("fetcher on partition 1 returned %v for partition-0 traffic", m)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, err := c.Produce("t", 1, nil, []byte("mine")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m == nil || string(m.Value) != "mine" {
+			t.Fatalf("got %v", m)
+		}
+	case <-ctx.Done():
+		t.Fatal("fetcher never woke for its own partition")
+	}
+}
+
+func TestFetchBlockingWakesOnAbortResolution(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.InitProducer("tx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Send("t", 0, nil, []byte("pending")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Produce("t", 0, nil, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read-committed fetcher parks at the last stable offset (the open
+	// transaction's first message); the abort must wake it so it can skip
+	// the aborted run and deliver the later committed message.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	got := make(chan *Message, 1)
+	go func() {
+		m, err := c.FetchBlocking(ctx, "t", 0, 0, ReadCommitted)
+		if err != nil {
+			t.Errorf("FetchBlocking: %v", err)
+		}
+		got <- m
+	}()
+	time.Sleep(5 * time.Millisecond)
+	if err := p.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m == nil || string(m.Value) != "after" {
+			t.Fatalf("got %v", m)
+		}
+	case <-ctx.Done():
+		t.Fatal("read-committed fetcher never woke after abort")
+	}
+}

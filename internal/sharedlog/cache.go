@@ -77,6 +77,20 @@ func (c *readCache) put(lsn LSN, rec *Record) {
 	}
 }
 
+// update replaces an existing entry in place (SetAux republished the
+// record); absent entries are left absent so updates don't pollute the
+// LRU order with unread records.
+func (c *readCache) update(lsn LSN, rec *Record) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[lsn]; ok {
+		el.Value = cacheEntry{lsn: lsn, rec: rec}
+	}
+}
+
 // invalidate drops every cached record below the trim horizon.
 func (c *readCache) invalidate(below LSN) {
 	if c == nil {

@@ -18,6 +18,25 @@
 // log configuration, and conditional appends that succeed only while a
 // metadata key still holds an expected value.
 //
+// Internally the log is split into two planes (Boki/Scalog separate
+// ordering from storage the same way):
+//
+//   - The ordering plane (ordering.go) is the only writer. It serializes
+//     LSN assignment, conditional-append guards, and the sequencer's
+//     batch cuts under one mutex — the total order is a serial decision
+//     by definition.
+//   - The committed-read plane (store.go, index.go, read.go) is
+//     lock-free for readers: committed records live in immutable
+//     segmented arrays behind an atomically published tail, and the
+//     per-tag index shards its locks. ReadNext / ReadNextAny / Read /
+//     CountTag never take the ordering mutex. Blocking readers register
+//     per-tag waiters, so a commit wakes only readers whose tags it
+//     carries — not every blocked reader in the process.
+//
+// Records are immutable once committed: readers all share one record
+// instance and must not modify it. SetAux swaps in a fresh copy rather
+// than mutating in place.
+//
 // The deployment is simulated in-process: records are persisted on
 // NumShards storage shards with a replication factor, and every append
 // and read is charged a latency drawn from the configured models, so a
@@ -26,11 +45,10 @@
 package sharedlog
 
 import (
-	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"impeller/internal/sim"
@@ -51,7 +69,8 @@ const MaxLSN = LSN(^uint64(0))
 // defined by the log").
 type Tag string
 
-// Record is one entry in the shared log.
+// Record is one entry in the shared log. Once committed a record is
+// immutable and shared by every reader; callers must not modify it.
 type Record struct {
 	// LSN is the record's position in the global total order.
 	LSN LSN
@@ -127,62 +146,48 @@ func (c Config) withDefaults() Config {
 type Log struct {
 	cfg Config
 
-	mu      sync.Mutex
-	records map[LSN]*Record
-	byTag   map[Tag][]LSN // sorted ascending; LSNs assigned under mu
-	next    LSN           // next LSN to assign
-	trimmed LSN           // records with LSN < trimmed are gone
-	closed  bool
-	notify  chan struct{} // closed+replaced when new records become readable
+	// Ordering plane: mu serializes LSN assignment, conditional-append
+	// guard checks, and the pending batch. Reads never take it.
+	mu       sync.Mutex
+	pending  []pendingAppend // waiting for the sequencer cut
+	ordering bool            // sequencer loop running
+
+	// Committed-read plane: lock-free segmented store + sharded index.
+	store *store
+	index *tagIndex
 
 	meta  *MetaStore
 	cache *readCache
+	stats logStats
 
-	pending   []pendingAppend // waiting for the sequencer cut
-	ordering  bool            // sequencer loop running
+	closed    atomic.Bool
 	closeOnce sync.Once
-	done      chan struct{}
+	done      chan struct{} // closed when the log closes; wakes waiters
 
 	shards []*shard
 }
 
-type pendingAppend struct {
-	rec  *Record
-	resp chan appendResult
-	// conditional-append guard, re-validated at ordering time.
-	conditional bool
-	condKey     string
-	condWant    uint64
-}
-
-type appendResult struct {
-	lsn LSN
-	err error
-}
-
-// shard is a simulated storage node; it tracks which LSNs it stores so
-// crash experiments can make records unavailable.
+// shard is a simulated storage node. Replica placement is deterministic
+// — record lsn lives on shards (lsn+r) mod NumShards for r < Replication
+// — so the shard carries only its fault-injection name.
 type shard struct {
 	name string
-	mu   sync.Mutex
-	held map[LSN]bool
 }
 
 // Open creates a shared log with cfg.
 func Open(cfg Config) *Log {
 	cfg = cfg.withDefaults()
 	l := &Log{
-		cfg:     cfg,
-		records: make(map[LSN]*Record),
-		byTag:   make(map[Tag][]LSN),
-		notify:  make(chan struct{}),
-		meta:    NewMetaStore(),
-		done:    make(chan struct{}),
+		cfg:   cfg,
+		store: newStore(),
+		index: newTagIndex(),
+		meta:  NewMetaStore(),
+		done:  make(chan struct{}),
 	}
 	l.cache = newReadCache(cfg.CacheSize)
 	l.shards = make([]*shard, cfg.NumShards)
 	for i := range l.shards {
-		l.shards[i] = &shard{name: fmt.Sprintf("shard/%d", i), held: make(map[LSN]bool)}
+		l.shards[i] = &shard{name: fmt.Sprintf("shard/%d", i)}
 	}
 	if cfg.OrderingInterval > 0 {
 		l.ordering = true
@@ -191,16 +196,16 @@ func Open(cfg Config) *Log {
 	return l
 }
 
-// Close shuts the log down; in-flight appends fail with ErrClosed.
+// Close shuts the log down; in-flight appends fail with ErrClosed and
+// blocked readers return ErrClosed.
 func (l *Log) Close() {
 	l.closeOnce.Do(func() {
+		l.closed.Store(true)
 		l.mu.Lock()
-		l.closed = true
 		pending := l.pending
 		l.pending = nil
-		close(l.done)
-		l.broadcastLocked()
 		l.mu.Unlock()
+		close(l.done) // stops the sequencer and wakes every blocked reader
 		for _, p := range pending {
 			close(p.resp)
 		}
@@ -228,133 +233,16 @@ func (l *Log) FenceIncrement(key string) uint64 {
 // NumShards reports the number of storage shards.
 func (l *Log) NumShards() int { return len(l.shards) }
 
-// Append appends payload with tags and returns the assigned LSN. The
-// append is atomic with respect to every tag: the single record appears
-// in each tag's substream at the same global position. tags must be
-// non-empty.
-func (l *Log) Append(tags []Tag, payload []byte) (LSN, error) {
-	return l.append(tags, payload, "", 0, false)
-}
+// Tail returns the next LSN to be assigned (i.e. one past the last
+// record in the global order).
+func (l *Log) Tail() LSN { return l.store.committedTail() }
 
-// ConditionalAppend appends only if the metadata key still holds want.
-// Impeller fences zombie tasks by guarding progress-marker appends on
-// the task's instance number (paper §3.4). Returns ErrCondFailed if the
-// guard no longer holds.
-func (l *Log) ConditionalAppend(tags []Tag, payload []byte, key string, want uint64) (LSN, error) {
-	return l.append(tags, payload, key, want, true)
-}
-
-func (l *Log) append(tags []Tag, payload []byte, condKey string, condWant uint64, conditional bool) (LSN, error) {
-	if len(tags) == 0 {
-		return 0, errors.New("sharedlog: append requires at least one tag")
-	}
-	if err := l.cfg.Faults.Check("client", "sequencer"); err != nil {
-		return 0, err
-	}
-	if m := l.cfg.AppendLatency; m != nil {
-		l.cfg.Clock.Sleep(m.Sample())
-	}
-	rec := &Record{
-		Tags:    append([]Tag(nil), tags...),
-		Payload: append([]byte(nil), payload...),
-	}
-
-	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
-		return 0, ErrClosed
-	}
-	if !l.ordering {
-		// The guard check and the ordering decision are atomic under
-		// l.mu: together with FenceIncrement, two markers can never
-		// both commit for the same (task, instance).
-		if conditional && !l.condHoldsLocked(condKey, condWant) {
-			l.mu.Unlock()
-			return 0, ErrCondFailed
-		}
-		lsn := l.commitLocked(rec)
-		l.mu.Unlock()
-		return lsn, nil
-	}
-	// Ordering mode: the guard is validated at the sequencer cut — the
-	// moment the LSN is assigned — not at enqueue time, so a fence
-	// between enqueue and cut still excludes the append.
-	resp := make(chan appendResult, 1)
-	l.pending = append(l.pending, pendingAppend{
-		rec: rec, resp: resp,
-		conditional: conditional, condKey: condKey, condWant: condWant,
-	})
-	l.mu.Unlock()
-
-	res, ok := <-resp
-	if !ok {
-		return 0, ErrClosed
-	}
-	return res.lsn, res.err
-}
-
-// condHoldsLocked reports whether the metadata guard still holds.
-func (l *Log) condHoldsLocked(key string, want uint64) bool {
-	got, ok := l.meta.Get(key)
-	return ok && got == want
-}
-
-// commitLocked assigns the next LSN, indexes the record by tag, places
-// replicas, and wakes blocked readers. Caller holds l.mu.
-func (l *Log) commitLocked(rec *Record) LSN {
-	lsn := l.next
-	l.next++
-	rec.LSN = lsn
-	l.records[lsn] = rec
-	for _, t := range rec.Tags {
-		l.byTag[t] = append(l.byTag[t], lsn)
-	}
-	n := len(l.shards)
-	for r := 0; r < l.cfg.Replication; r++ {
-		s := l.shards[(int(lsn)+r)%n]
-		s.mu.Lock()
-		s.held[lsn] = true
-		s.mu.Unlock()
-	}
-	l.broadcastLocked()
-	return lsn
-}
-
-func (l *Log) broadcastLocked() {
-	close(l.notify)
-	l.notify = make(chan struct{})
-}
-
-// sequencerLoop implements Scalog-style ordering: locally persisted
-// appends wait for the next cut, at which point the sequencer assigns a
-// contiguous range of global LSNs to the batch.
-func (l *Log) sequencerLoop() {
-	for {
-		select {
-		case <-l.done:
-			return
-		case <-l.cfg.Clock.After(l.cfg.OrderingInterval):
-		}
-		l.mu.Lock()
-		batch := l.pending
-		l.pending = nil
-		results := make([]appendResult, len(batch))
-		for i, p := range batch {
-			if p.conditional && !l.condHoldsLocked(p.condKey, p.condWant) {
-				results[i] = appendResult{err: ErrCondFailed}
-				continue
-			}
-			results[i] = appendResult{lsn: l.commitLocked(p.rec)}
-		}
-		l.mu.Unlock()
-		for i, p := range batch {
-			p.resp <- results[i]
-		}
-	}
-}
+// TrimHorizon returns the lowest untrimmed LSN.
+func (l *Log) TrimHorizon() LSN { return l.store.trimHorizon() }
 
 // available reports whether a quorum (one live replica) of the record at
-// lsn is reachable.
+// lsn is reachable. Placement is deterministic, so no shard state is
+// consulted — only the fault injector.
 func (l *Log) available(lsn LSN) bool {
 	if l.cfg.Faults == nil {
 		return true
@@ -367,283 +255,4 @@ func (l *Log) available(lsn LSN) bool {
 		}
 	}
 	return false
-}
-
-func (l *Log) chargeRead() {
-	if m := l.cfg.ReadLatency; m != nil {
-		l.cfg.Clock.Sleep(m.Sample())
-	}
-}
-
-// ReadNext returns the first record carrying tag at an LSN >= from, or
-// nil if no such record exists yet. It returns ErrTrimmed when the next
-// record in range was garbage-collected.
-func (l *Log) ReadNext(tag Tag, from LSN) (*Record, error) {
-	l.mu.Lock()
-	rec, err := l.readNextLocked(tag, from)
-	l.mu.Unlock()
-	return l.serveRead(rec, err)
-}
-
-// serveRead finishes a read: cache hits skip the storage latency, and
-// misses both pay it and populate the cache.
-func (l *Log) serveRead(rec *Record, err error) (*Record, error) {
-	if err != nil || rec == nil {
-		if err == nil {
-			l.chargeRead()
-		}
-		return rec, err
-	}
-	if cached, ok := l.cache.get(rec.LSN); ok {
-		return cached, nil
-	}
-	l.chargeRead()
-	l.cache.put(rec.LSN, rec)
-	return rec, nil
-}
-
-func (l *Log) readNextLocked(tag Tag, from LSN) (*Record, error) {
-	if l.closed {
-		return nil, ErrClosed
-	}
-	idx := l.byTag[tag]
-	i := sort.Search(len(idx), func(i int) bool { return idx[i] >= from })
-	if i == len(idx) {
-		if from < l.trimmed {
-			return nil, ErrTrimmed
-		}
-		return nil, nil
-	}
-	lsn := idx[i]
-	if !l.available(lsn) {
-		return nil, ErrUnavailable
-	}
-	return l.copyRecordLocked(lsn), nil
-}
-
-// ReadNextAny returns the earliest record carrying any of the tags at an
-// LSN >= from, or nil if none exists yet. Impeller tasks read all their
-// input substreams through one global cursor this way: the shared log's
-// total order interleaves a task's inputs and the upstream progress
-// markers in a single sequence (paper §3.2, "Reading from multiple
-// inputs").
-func (l *Log) ReadNextAny(tags []Tag, from LSN) (*Record, error) {
-	l.mu.Lock()
-	rec, err := l.readNextAnyLocked(tags, from)
-	l.mu.Unlock()
-	return l.serveRead(rec, err)
-}
-
-func (l *Log) readNextAnyLocked(tags []Tag, from LSN) (*Record, error) {
-	if l.closed {
-		return nil, ErrClosed
-	}
-	best := MaxLSN
-	found := false
-	for _, tag := range tags {
-		idx := l.byTag[tag]
-		i := sort.Search(len(idx), func(i int) bool { return idx[i] >= from })
-		if i < len(idx) && idx[i] < best {
-			best = idx[i]
-			found = true
-		}
-	}
-	if !found {
-		if from < l.trimmed {
-			return nil, ErrTrimmed
-		}
-		return nil, nil
-	}
-	if !l.available(best) {
-		return nil, ErrUnavailable
-	}
-	return l.copyRecordLocked(best), nil
-}
-
-// ReadNextAnyBlocking behaves like ReadNextAny but waits until a record
-// becomes readable or ctx is done.
-func (l *Log) ReadNextAnyBlocking(ctx context.Context, tags []Tag, from LSN) (*Record, error) {
-	for {
-		l.mu.Lock()
-		rec, err := l.readNextAnyLocked(tags, from)
-		ch := l.notify
-		l.mu.Unlock()
-		if err != nil || rec != nil {
-			if rec == nil {
-				return nil, err
-			}
-			return l.serveRead(rec, err)
-		}
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-ch:
-		}
-	}
-}
-
-// ReadNextBlocking behaves like ReadNext but waits until a record
-// becomes readable or ctx is done.
-func (l *Log) ReadNextBlocking(ctx context.Context, tag Tag, from LSN) (*Record, error) {
-	for {
-		l.mu.Lock()
-		rec, err := l.readNextLocked(tag, from)
-		ch := l.notify
-		l.mu.Unlock()
-		if err != nil || rec != nil {
-			if rec == nil {
-				return nil, err
-			}
-			return l.serveRead(rec, err)
-		}
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-ch:
-		}
-	}
-}
-
-// ReadPrev returns the last record carrying tag at an LSN <= from, or
-// nil if none exists. Reading the tail of a task-log substream during
-// recovery is ReadPrev(tag, MaxLSN).
-func (l *Log) ReadPrev(tag Tag, from LSN) (*Record, error) {
-	l.chargeRead()
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
-		return nil, ErrClosed
-	}
-	idx := l.byTag[tag]
-	i := sort.Search(len(idx), func(i int) bool { return idx[i] > from })
-	if i == 0 {
-		return nil, nil
-	}
-	lsn := idx[i-1]
-	if lsn < l.trimmed {
-		return nil, ErrTrimmed
-	}
-	if !l.available(lsn) {
-		return nil, ErrUnavailable
-	}
-	return l.copyRecordLocked(lsn), nil
-}
-
-// Read returns the record at exactly lsn, or nil if that LSN has not
-// been assigned. It returns ErrTrimmed below the trim horizon.
-func (l *Log) Read(lsn LSN) (*Record, error) {
-	l.chargeRead()
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
-		return nil, ErrClosed
-	}
-	if lsn < l.trimmed {
-		return nil, ErrTrimmed
-	}
-	if _, ok := l.records[lsn]; !ok {
-		return nil, nil
-	}
-	if !l.available(lsn) {
-		return nil, ErrUnavailable
-	}
-	return l.copyRecordLocked(lsn), nil
-}
-
-func (l *Log) copyRecordLocked(lsn LSN) *Record {
-	r := l.records[lsn]
-	cp := &Record{LSN: r.LSN, Tags: r.Tags, Payload: r.Payload, Aux: r.Aux}
-	return cp
-}
-
-// SetAux attaches auxiliary data to the record at lsn (Boki aux-data).
-// Aux data is advisory: it is not replicated with the record and may be
-// overwritten by concurrent setters.
-func (l *Log) SetAux(lsn LSN, aux []byte) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
-		return ErrClosed
-	}
-	r, ok := l.records[lsn]
-	if !ok {
-		if lsn < l.trimmed {
-			return ErrTrimmed
-		}
-		return fmt.Errorf("sharedlog: SetAux at unassigned LSN %d", lsn)
-	}
-	r.Aux = append([]byte(nil), aux...)
-	return nil
-}
-
-// Trim garbage-collects every record with LSN < upTo (the shared log's
-// prefix-trim API, paper §3.5). Trimming is idempotent and monotonic.
-func (l *Log) Trim(upTo LSN) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
-		return ErrClosed
-	}
-	if upTo <= l.trimmed {
-		return nil
-	}
-	if upTo > l.next {
-		upTo = l.next
-	}
-	for lsn := l.trimmed; lsn < upTo; lsn++ {
-		rec, ok := l.records[lsn]
-		if !ok {
-			continue
-		}
-		delete(l.records, lsn)
-		for _, t := range rec.Tags {
-			idx := l.byTag[t]
-			i := sort.Search(len(idx), func(i int) bool { return idx[i] >= lsn })
-			if i < len(idx) && idx[i] == lsn {
-				l.byTag[t] = append(idx[:i], idx[i+1:]...)
-			}
-			if len(l.byTag[t]) == 0 {
-				delete(l.byTag, t)
-			}
-		}
-		n := len(l.shards)
-		for r := 0; r < l.cfg.Replication; r++ {
-			s := l.shards[(int(lsn)+r)%n]
-			s.mu.Lock()
-			delete(s.held, lsn)
-			s.mu.Unlock()
-		}
-	}
-	l.trimmed = upTo
-	l.cache.invalidate(upTo)
-	return nil
-}
-
-// TrimHorizon returns the lowest untrimmed LSN.
-func (l *Log) TrimHorizon() LSN {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.trimmed
-}
-
-// Tail returns the next LSN to be assigned (i.e. one past the last
-// record in the global order).
-func (l *Log) Tail() LSN {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.next
-}
-
-// CacheStats reports client-cache hits and misses (0, 0 when the cache
-// is disabled).
-func (l *Log) CacheStats() (hits, misses uint64) {
-	return l.cache.Stats()
-}
-
-// CountTag reports how many live records carry tag; used by tests and
-// the GC ablation.
-func (l *Log) CountTag(tag Tag) int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.byTag[tag])
 }

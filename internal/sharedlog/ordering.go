@@ -1,0 +1,149 @@
+package sharedlog
+
+// The ordering plane: the single writer into the committed store. LSN
+// assignment is the global total order, so it is a serial decision by
+// construction — everything here runs under l.mu. The committed-read
+// plane (store.go, index.go, read.go) only ever observes fully
+// published state.
+
+// pendingAppend is an append waiting for the next sequencer cut.
+type pendingAppend struct {
+	rec  *Record
+	resp chan appendResult
+	// conditional-append guard, re-validated at ordering time.
+	conditional bool
+	condKey     string
+	condWant    uint64
+}
+
+type appendResult struct {
+	lsn LSN
+	err error
+}
+
+// Append appends payload with tags and returns the assigned LSN. The
+// append is atomic with respect to every tag: the single record appears
+// in each tag's substream at the same global position. tags must be
+// non-empty.
+func (l *Log) Append(tags []Tag, payload []byte) (LSN, error) {
+	return l.append(tags, payload, "", 0, false)
+}
+
+// ConditionalAppend appends only if the metadata key still holds want.
+// Impeller fences zombie tasks by guarding progress-marker appends on
+// the task's instance number (paper §3.4). Returns ErrCondFailed if the
+// guard no longer holds.
+func (l *Log) ConditionalAppend(tags []Tag, payload []byte, key string, want uint64) (LSN, error) {
+	return l.append(tags, payload, key, want, true)
+}
+
+func (l *Log) append(tags []Tag, payload []byte, condKey string, condWant uint64, conditional bool) (LSN, error) {
+	if len(tags) == 0 {
+		return 0, errAppendNeedsTag
+	}
+	if err := l.cfg.Faults.Check("client", "sequencer"); err != nil {
+		return 0, err
+	}
+	if m := l.cfg.AppendLatency; m != nil {
+		l.cfg.Clock.Sleep(m.Sample())
+	}
+	// The record owns copies of its inputs; once committed it is shared
+	// with every reader and never mutated again.
+	rec := &Record{
+		Tags:    append([]Tag(nil), tags...),
+		Payload: append([]byte(nil), payload...),
+	}
+
+	l.mu.Lock()
+	if l.closed.Load() {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if !l.ordering {
+		// The guard check and the ordering decision are atomic under
+		// l.mu: together with FenceIncrement, two markers can never
+		// both commit for the same (task, instance).
+		if conditional && !l.condHoldsLocked(condKey, condWant) {
+			l.mu.Unlock()
+			l.stats.condFailed.Add(1)
+			return 0, ErrCondFailed
+		}
+		lsn := l.commitLocked(rec)
+		l.mu.Unlock()
+		return lsn, nil
+	}
+	// Ordering mode: the guard is validated at the sequencer cut — the
+	// moment the LSN is assigned — not at enqueue time, so a fence
+	// between enqueue and cut still excludes the append.
+	resp := make(chan appendResult, 1)
+	l.pending = append(l.pending, pendingAppend{
+		rec: rec, resp: resp,
+		conditional: conditional, condKey: condKey, condWant: condWant,
+	})
+	l.mu.Unlock()
+
+	res, ok := <-resp
+	if !ok {
+		return 0, ErrClosed
+	}
+	return res.lsn, res.err
+}
+
+// condHoldsLocked reports whether the metadata guard still holds.
+func (l *Log) condHoldsLocked(key string, want uint64) bool {
+	got, ok := l.meta.Get(key)
+	return ok && got == want
+}
+
+// commitLocked assigns the next LSN, publishes the record to the
+// committed store, indexes it by tag, and wakes readers blocked on the
+// carried tags — only those. Caller holds l.mu.
+//
+// Publication order matters for the lock-free read plane: the record
+// slot is written and the committed tail advanced (store.put) before
+// the tag index learns the LSN, so any reader that finds the LSN
+// through the index is guaranteed to see the record behind it.
+func (l *Log) commitLocked(rec *Record) LSN {
+	lsn := l.store.nextLSN()
+	rec.LSN = lsn
+	l.store.put(rec)
+	woken := l.index.add(rec.Tags, lsn)
+	l.stats.appends.Add(1)
+	if woken > 0 {
+		l.stats.wakeups.Add(uint64(woken))
+	}
+	return lsn
+}
+
+// sequencerLoop implements Scalog-style ordering: locally persisted
+// appends wait for the next cut, at which point the sequencer assigns a
+// contiguous range of global LSNs to the batch.
+func (l *Log) sequencerLoop() {
+	for {
+		select {
+		case <-l.done:
+			return
+		case <-l.cfg.Clock.After(l.cfg.OrderingInterval):
+		}
+		l.mu.Lock()
+		batch := l.pending
+		l.pending = nil
+		results := make([]appendResult, len(batch))
+		for i, p := range batch {
+			if p.conditional && !l.condHoldsLocked(p.condKey, p.condWant) {
+				results[i] = appendResult{err: ErrCondFailed}
+				l.stats.condFailed.Add(1)
+				continue
+			}
+			results[i] = appendResult{lsn: l.commitLocked(p.rec)}
+		}
+		l.mu.Unlock()
+		if len(batch) > 0 {
+			l.stats.cuts.Add(1)
+			l.stats.cutBatch.Add(uint64(len(batch)))
+		}
+		for i, p := range batch {
+			p.resp <- results[i]
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package sharedlog
+
+import "sync/atomic"
+
+// logStats is the log's internal counter set. Counters are atomic so
+// the hot paths bump them without coordination; Stats() snapshots them.
+type logStats struct {
+	appends    atomic.Uint64
+	condFailed atomic.Uint64
+
+	readNext    atomic.Uint64
+	readNextAny atomic.Uint64
+	readExact   atomic.Uint64
+	readPrev    atomic.Uint64
+
+	cuts     atomic.Uint64 // sequencer cuts that ordered >= 1 append
+	cutBatch atomic.Uint64 // appends ordered through cuts
+
+	wakeups       atomic.Uint64 // waiters woken by commits
+	usefulWakeups atomic.Uint64 // wakeups after which the reader found data
+
+	trims atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of the log's observability counters
+// (satellite of the ordering/read plane split: the wakeup pair verifies
+// per-tag waiters replaced the global broadcast — a commit only wakes
+// readers registered on a tag it carries, so UsefulWakeups tracks
+// ReaderWakeups closely instead of trailing it by orders of magnitude).
+type Stats struct {
+	// Appends counts committed records; CondFailed counts conditional
+	// appends rejected by their metadata guard.
+	Appends    uint64
+	CondFailed uint64
+
+	// Reads by kind. Blocking variants count once per call, not per
+	// internal retry.
+	ReadNext    uint64
+	ReadNextAny uint64
+	ReadExact   uint64
+	ReadPrev    uint64
+
+	// CacheHits / CacheMisses fold in the client read cache (both zero
+	// when the cache is disabled).
+	CacheHits   uint64
+	CacheMisses uint64
+
+	// SequencerCuts counts non-empty ordering cuts; MeanCutBatch is the
+	// mean number of appends ordered per cut (0 in immediate mode).
+	SequencerCuts uint64
+	MeanCutBatch  float64
+
+	// ReaderWakeups counts blocked readers woken by commits;
+	// UsefulWakeups counts wakeups whose reader then found a record (or
+	// a definite error). With per-tag waiters the ratio is ~1.
+	ReaderWakeups uint64
+	UsefulWakeups uint64
+
+	// Trims counts Trim calls that advanced the horizon.
+	Trims uint64
+
+	// Tail and TrimHorizon locate the live window of the log.
+	Tail        LSN
+	TrimHorizon LSN
+}
+
+// Stats returns a snapshot of the log's counters. Counters are read
+// individually, so a snapshot taken during activity is approximate
+// across fields but each field is exact.
+func (l *Log) Stats() Stats {
+	hits, misses := l.cache.Stats()
+	s := Stats{
+		Appends:       l.stats.appends.Load(),
+		CondFailed:    l.stats.condFailed.Load(),
+		ReadNext:      l.stats.readNext.Load(),
+		ReadNextAny:   l.stats.readNextAny.Load(),
+		ReadExact:     l.stats.readExact.Load(),
+		ReadPrev:      l.stats.readPrev.Load(),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		SequencerCuts: l.stats.cuts.Load(),
+		ReaderWakeups: l.stats.wakeups.Load(),
+		UsefulWakeups: l.stats.usefulWakeups.Load(),
+		Trims:         l.stats.trims.Load(),
+		Tail:          l.Tail(),
+		TrimHorizon:   l.TrimHorizon(),
+	}
+	if s.SequencerCuts > 0 {
+		s.MeanCutBatch = float64(l.stats.cutBatch.Load()) / float64(s.SequencerCuts)
+	}
+	return s
+}
+
+// CacheStats reports client-cache hits and misses (0, 0 when the cache
+// is disabled). Kept alongside Stats for the cache ablation's narrower
+// view.
+func (l *Log) CacheStats() (hits, misses uint64) {
+	return l.cache.Stats()
+}

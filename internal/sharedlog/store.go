@@ -1,0 +1,202 @@
+package sharedlog
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+var errAppendNeedsTag = errors.New("sharedlog: append requires at least one tag")
+
+// The committed store: immutable records in fixed-size append-only
+// segments. The ordering plane is the only writer; readers navigate a
+// copy-on-write segment directory and load record slots atomically, so
+// the committed path takes no lock at all.
+//
+// Publication protocol (writer side, serialized by the ordering mutex):
+//
+//	slot.Store(rec)  →  tail.Store(lsn+1)
+//
+// A reader that observes lsn < tail is therefore guaranteed to observe
+// the slot write, and a reader that finds lsn through the tag index
+// (which is updated after put returns) likewise. Trim retires records
+// by nil-ing slots and dropping whole segments from the directory;
+// readers distinguish "trimmed" (nil slot / dropped segment below the
+// horizon) from "unassigned" (at or past the tail) structurally.
+
+const (
+	segShift = 10 // log2 of records per segment
+	segSize  = 1 << segShift
+	segMask  = segSize - 1
+)
+
+// segment is one fixed-size run of the global order. Slots are written
+// exactly once by the ordering plane, then only ever swapped by SetAux
+// (fresh immutable copy) or nil-ed by Trim.
+type segment struct {
+	slots [segSize]atomic.Pointer[Record]
+}
+
+// segDir is the copy-on-write segment directory. segs[i] covers LSNs
+// [ (firstSeg+i) << segShift, (firstSeg+i+1) << segShift ).
+type segDir struct {
+	firstSeg uint64
+	segs     []*segment
+}
+
+type store struct {
+	// mu serializes structural mutation of the directory: segment
+	// allocation (writer) and segment retirement (Trim). Readers never
+	// take it.
+	mu      sync.Mutex
+	dir     atomic.Pointer[segDir]
+	tail    atomic.Uint64 // next LSN to assign; all below are published
+	trimmed atomic.Uint64 // records with LSN < trimmed are gone
+}
+
+func newStore() *store {
+	s := &store{}
+	s.dir.Store(&segDir{})
+	return s
+}
+
+func (s *store) committedTail() LSN { return LSN(s.tail.Load()) }
+func (s *store) trimHorizon() LSN   { return LSN(s.trimmed.Load()) }
+
+// nextLSN returns the LSN the next put will assign. Only the ordering
+// plane (under its mutex) may rely on this not moving.
+func (s *store) nextLSN() LSN { return LSN(s.tail.Load()) }
+
+// put publishes rec (whose LSN must be the current tail) and advances
+// the committed tail. Called only by the ordering plane.
+func (s *store) put(rec *Record) {
+	lsn := uint64(rec.LSN)
+	segnum := lsn >> segShift
+	d := s.dir.Load()
+	idx := segnum - d.firstSeg
+	if idx >= uint64(len(d.segs)) {
+		d = s.growTo(segnum)
+		idx = segnum - d.firstSeg
+	}
+	d.segs[idx].slots[lsn&segMask].Store(rec)
+	s.tail.Store(lsn + 1)
+}
+
+// growTo appends segments to the directory until segnum is covered and
+// returns the new directory.
+func (s *store) growTo(segnum uint64) *segDir {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.dir.Load()
+	for segnum-d.firstSeg >= uint64(len(d.segs)) {
+		nd := &segDir{
+			firstSeg: d.firstSeg,
+			segs:     append(append([]*segment(nil), d.segs...), &segment{}),
+		}
+		s.dir.Store(nd)
+		d = nd
+	}
+	return d
+}
+
+// get returns the committed record at lsn: (nil, nil) when lsn is not
+// yet assigned, ErrTrimmed when it was garbage-collected. Lock-free.
+func (s *store) get(lsn LSN) (*Record, error) {
+	if uint64(lsn) >= s.tail.Load() {
+		return nil, nil
+	}
+	d := s.dir.Load()
+	segnum := uint64(lsn) >> segShift
+	if segnum < d.firstSeg {
+		return nil, ErrTrimmed // whole segment retired
+	}
+	idx := segnum - d.firstSeg
+	if idx >= uint64(len(d.segs)) {
+		// Raced with a concurrent put's directory growth; the tail said
+		// the record exists, so reload the directory.
+		d = s.dir.Load()
+		idx = segnum - d.firstSeg
+		if idx >= uint64(len(d.segs)) {
+			return nil, nil
+		}
+	}
+	rec := d.segs[idx].slots[uint64(lsn)&segMask].Load()
+	if rec == nil {
+		return nil, ErrTrimmed // slot nil-ed by Trim
+	}
+	return rec, nil
+}
+
+// setAux swaps the record at lsn for a copy carrying aux. Records are
+// immutable once committed, so attaching aux data replaces the slot's
+// record rather than mutating it; readers holding the old instance see
+// stale aux, which the aux contract allows (advisory, last-writer-wins).
+func (s *store) setAux(lsn LSN, aux []byte) error {
+	if uint64(lsn) >= s.tail.Load() {
+		return fmt.Errorf("sharedlog: SetAux at unassigned LSN %d", lsn)
+	}
+	d := s.dir.Load()
+	segnum := uint64(lsn) >> segShift
+	if segnum < d.firstSeg {
+		return ErrTrimmed
+	}
+	slot := &d.segs[segnum-d.firstSeg].slots[uint64(lsn)&segMask]
+	for {
+		old := slot.Load()
+		if old == nil {
+			return ErrTrimmed
+		}
+		cp := *old
+		cp.Aux = append([]byte(nil), aux...)
+		if slot.CompareAndSwap(old, &cp) {
+			return nil
+		}
+	}
+}
+
+// trim retires every record with LSN < upTo: slots in the partially
+// trimmed segment are nil-ed, fully trimmed segments are dropped from
+// the directory. Returns the previous horizon. Caller must have
+// advanced nothing; trim itself publishes the new horizon first so
+// racing readers classify the region as trimmed, not missing.
+func (s *store) trim(upTo LSN) (from LSN) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := LSN(s.trimmed.Load())
+	if upTo <= old {
+		return old
+	}
+	s.trimmed.Store(uint64(upTo))
+	d := s.dir.Load()
+	// Nil the slots of the partially trimmed tail of the range.
+	firstLive := uint64(upTo) >> segShift
+	for lsn := uint64(old); lsn < uint64(upTo); lsn++ {
+		segnum := lsn >> segShift
+		if segnum < d.firstSeg {
+			continue // already dropped
+		}
+		if segnum < firstLive {
+			// The whole segment goes away below; skip slot-by-slot work.
+			lsn = (segnum+1)<<segShift - 1
+			continue
+		}
+		idx := segnum - d.firstSeg
+		if idx < uint64(len(d.segs)) {
+			d.segs[idx].slots[lsn&segMask].Store(nil)
+		}
+	}
+	// Drop fully retired segments.
+	if firstLive > d.firstSeg {
+		drop := firstLive - d.firstSeg
+		if drop > uint64(len(d.segs)) {
+			drop = uint64(len(d.segs))
+		}
+		nd := &segDir{
+			firstSeg: d.firstSeg + drop,
+			segs:     append([]*segment(nil), d.segs[drop:]...),
+		}
+		s.dir.Store(nd)
+	}
+	return old
+}

@@ -1,0 +1,418 @@
+package sharedlog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"impeller/internal/sim"
+)
+
+// TestStressConcurrentLogOperations hammers every plane at once:
+// parallel appenders (plain and conditional), multi-tag blocking
+// readers, concurrent prefix trims, aux attachment, and fault-injected
+// shard crashes. Run under -race this is the refactor's main safety
+// net: the committed-read plane takes no global lock, so any unsound
+// publication order shows up here as a race or a torn read.
+func TestStressConcurrentLogOperations(t *testing.T) {
+	f := sim.NewFaultInjector()
+	l := Open(Config{NumShards: 4, Replication: 3, Faults: f})
+	defer l.Close()
+	l.Meta().Set("inst/stress", 1)
+
+	const (
+		appenders = 4
+		perApp    = 400
+		readers   = 4
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	appendersDone := make(chan struct{})
+
+	// Appenders: each writes its own tag plus the shared "all" tag, a
+	// conditional append every 8th record.
+	var appendWG sync.WaitGroup
+	for a := 0; a < appenders; a++ {
+		wg.Add(1)
+		appendWG.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			defer appendWG.Done()
+			tag := Tag(fmt.Sprintf("app/%d", a))
+			for i := 0; i < perApp; i++ {
+				payload := []byte{byte(a), byte(i), byte(i >> 8)}
+				var err error
+				if i%8 == 0 {
+					_, err = l.ConditionalAppend([]Tag{tag, "all"}, payload, "inst/stress", 1)
+				} else {
+					_, err = l.Append([]Tag{tag, "all"}, payload)
+				}
+				if err != nil {
+					t.Errorf("appender %d: %v", a, err)
+					return
+				}
+			}
+		}(a)
+	}
+	go func() { appendWG.Wait(); close(appendersDone) }()
+
+	// Blocking readers: each follows two appender tags through one
+	// cursor, tolerating trims (skip to horizon) and shard crashes
+	// (retry) — exactly what the task read loop does.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tags := []Tag{
+				Tag(fmt.Sprintf("app/%d", r%appenders)),
+				Tag(fmt.Sprintf("app/%d", (r+1)%appenders)),
+			}
+			var cursor LSN
+			var prev LSN
+			seen := 0
+			for seen < perApp { // plenty before ctx timeout ends it
+				rctx, rcancel := context.WithTimeout(ctx, 50*time.Millisecond)
+				rec, err := l.ReadNextAnyBlocking(rctx, tags, cursor)
+				rcancel()
+				if ctx.Err() != nil {
+					return
+				}
+				switch {
+				case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+					select {
+					case <-appendersDone:
+						return // drained
+					default:
+						continue
+					}
+				case errors.Is(err, ErrTrimmed):
+					cursor = l.TrimHorizon()
+					continue
+				case errors.Is(err, ErrUnavailable):
+					continue // crashed shard; retry
+				case err != nil:
+					t.Errorf("reader %d: %v", r, err)
+					return
+				case rec == nil:
+					continue
+				}
+				if seen > 0 && rec.LSN <= prev {
+					t.Errorf("reader %d: LSN went backwards: %d after %d", r, rec.LSN, prev)
+					return
+				}
+				prev = rec.LSN
+				cursor = rec.LSN + 1
+				seen++
+			}
+		}(r)
+	}
+
+	// Trimmer: advances the horizon behind the tail, with one final trim
+	// after the appenders drain so short runs still exercise it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		trim := func() bool {
+			tail := l.Tail()
+			if tail <= 64 {
+				return true
+			}
+			if err := l.Trim(tail - 64); err != nil && !errors.Is(err, ErrClosed) {
+				t.Errorf("trim: %v", err)
+				return false
+			}
+			return true
+		}
+		for {
+			select {
+			case <-appendersDone:
+				trim()
+				return
+			case <-time.After(500 * time.Microsecond):
+			}
+			if !trim() {
+				return
+			}
+		}
+	}()
+
+	// Aux setter: annotates recent records, tolerating trims.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-appendersDone:
+				return
+			case <-time.After(time.Millisecond):
+			}
+			tail := l.Tail()
+			if tail == 0 {
+				continue
+			}
+			err := l.SetAux(tail-1, []byte("aux"))
+			if err != nil && !errors.Is(err, ErrTrimmed) && !errors.Is(err, ErrClosed) {
+				// The LSN came from Tail, so "unassigned" is impossible.
+				t.Errorf("SetAux: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Chaos: crash and recover one shard at a time. Replication is 3 of
+	// 4, so a single crash never makes records unavailable — readers
+	// should keep flowing (ErrUnavailable tolerated above anyway).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-appendersDone:
+				return
+			case <-time.After(3 * time.Millisecond):
+			}
+			name := fmt.Sprintf("shard/%d", i%4)
+			f.Crash(name)
+			time.Sleep(time.Millisecond)
+			f.Recover(name)
+			i++
+		}
+	}()
+
+	wg.Wait()
+	if ctx.Err() != nil {
+		t.Fatal("stress test timed out")
+	}
+
+	// The total order stayed dense: every append got a unique LSN.
+	if got, want := l.Tail(), LSN(appenders*perApp); got != want {
+		t.Fatalf("Tail = %d, want %d", got, want)
+	}
+	s := l.Stats()
+	if s.Appends != uint64(appenders*perApp) {
+		t.Fatalf("Stats.Appends = %d, want %d", s.Appends, appenders*perApp)
+	}
+	if s.Trims == 0 {
+		t.Fatal("trimmer never advanced the horizon")
+	}
+}
+
+// TestPropertyTagIndexMatchesFullScan asserts the sharded tag index is
+// read-equivalent to the naive implementation: scanning every committed
+// LSN and filtering by tag membership (DESIGN.md §5's property list).
+func TestPropertyTagIndexMatchesFullScan(t *testing.T) {
+	check := func(choices []uint16, trimAt uint8) bool {
+		l := Open(Config{})
+		defer l.Close()
+		tagsOf := func(c uint16) []Tag {
+			// 1–3 distinct tags per record drawn from a pool of 6.
+			n := int(c%3) + 1
+			seen := map[Tag]bool{}
+			out := make([]Tag, 0, n)
+			for i := 0; i < n; i++ {
+				tag := Tag(fmt.Sprintf("t%d", (int(c)>>uint(2*i))%6))
+				if !seen[tag] {
+					seen[tag] = true
+					out = append(out, tag)
+				}
+			}
+			return out
+		}
+		for i, c := range choices {
+			if _, err := l.Append(tagsOf(c), []byte{byte(i)}); err != nil {
+				return false
+			}
+		}
+		horizon := LSN(0)
+		if len(choices) > 0 {
+			horizon = LSN(int(trimAt) % (len(choices) + 1))
+			if err := l.Trim(horizon); err != nil {
+				return false
+			}
+		}
+		// Naive plane: full scan of live LSNs, filter by tag membership.
+		naive := make(map[Tag][]LSN)
+		for lsn := horizon; lsn < l.Tail(); lsn++ {
+			rec, err := l.Read(lsn)
+			if err != nil || rec == nil {
+				return false
+			}
+			for _, tag := range rec.Tags {
+				naive[tag] = append(naive[tag], lsn)
+			}
+		}
+		// Index plane: ReadNext iteration per tag, plus CountTag.
+		for d := 0; d < 6; d++ {
+			tag := Tag(fmt.Sprintf("t%d", d))
+			var got []LSN
+			from := LSN(0)
+			for {
+				rec, err := l.ReadNext(tag, from)
+				if errors.Is(err, ErrTrimmed) {
+					from = l.TrimHorizon()
+					continue
+				}
+				if err != nil {
+					return false
+				}
+				if rec == nil {
+					break
+				}
+				got = append(got, rec.LSN)
+				from = rec.LSN + 1
+			}
+			want := naive[tag]
+			if len(got) != len(want) || l.CountTag(tag) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWakeupsOnlyForCarriedTags pins the thundering-herd fix: commits
+// wake only readers registered on a tag the record carries, and every
+// wakeup is useful. Under the old global broadcast, the reader blocked
+// on "quiet" would have been woken by every "busy" commit.
+func TestWakeupsOnlyForCarriedTags(t *testing.T) {
+	l := openTest(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	got := make(chan *Record, 1)
+	go func() {
+		rec, err := l.ReadNextBlocking(ctx, "quiet", 0)
+		if err != nil {
+			t.Errorf("blocking read: %v", err)
+		}
+		got <- rec
+	}()
+	// Let the reader park.
+	waitUntil(t, func() bool { return l.Stats().ReadNext == 1 })
+	time.Sleep(10 * time.Millisecond)
+
+	// Unrelated traffic: must wake nobody.
+	for i := 0; i < 50; i++ {
+		mustAppend(t, l, "noise", "busy")
+	}
+	time.Sleep(10 * time.Millisecond)
+	if s := l.Stats(); s.ReaderWakeups != 0 {
+		t.Fatalf("unrelated commits woke %d readers, want 0", s.ReaderWakeups)
+	}
+
+	// The carried tag wakes exactly the registered reader, usefully.
+	mustAppend(t, l, "signal", "quiet")
+	select {
+	case rec := <-got:
+		if rec == nil || string(rec.Payload) != "signal" {
+			t.Fatalf("reader got %v", rec)
+		}
+	case <-ctx.Done():
+		t.Fatal("reader never woke")
+	}
+	s := l.Stats()
+	if s.ReaderWakeups != 1 {
+		t.Fatalf("ReaderWakeups = %d, want 1", s.ReaderWakeups)
+	}
+	if s.UsefulWakeups != 1 {
+		t.Fatalf("UsefulWakeups = %d, want 1 (ratio must be ~1)", s.UsefulWakeups)
+	}
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never held")
+}
+
+// TestStatsCountersByKind sanity-checks the observability satellite:
+// appends, reads by kind, cache traffic, and sequencer cut accounting.
+func TestStatsCountersByKind(t *testing.T) {
+	l := Open(Config{CacheSize: 8})
+	defer l.Close()
+	lsn := mustAppend(t, l, "a0", "a")
+	mustAppend(t, l, "a1", "a")
+
+	if _, err := l.ReadNext("a", 0); err != nil { // miss, fills cache
+		t.Fatal(err)
+	}
+	if _, err := l.ReadNext("a", 0); err != nil { // hit
+		t.Fatal(err)
+	}
+	if _, err := l.ReadNextAny([]Tag{"a", "b"}, 0); err != nil { // hit
+		t.Fatal(err)
+	}
+	if _, err := l.Read(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.ReadPrev("a", MaxLSN); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.ConditionalAppend([]Tag{"a"}, nil, "missing", 1); err != ErrCondFailed {
+		t.Fatalf("err = %v, want ErrCondFailed", err)
+	}
+
+	s := l.Stats()
+	if s.Appends != 2 || s.CondFailed != 1 {
+		t.Fatalf("Appends/CondFailed = %d/%d, want 2/1", s.Appends, s.CondFailed)
+	}
+	if s.ReadNext != 2 || s.ReadNextAny != 1 || s.ReadExact != 1 || s.ReadPrev != 1 {
+		t.Fatalf("reads by kind = next %d any %d exact %d prev %d",
+			s.ReadNext, s.ReadNextAny, s.ReadExact, s.ReadPrev)
+	}
+	if s.CacheHits != 2 || s.CacheMisses != 1 {
+		t.Fatalf("cache = %d hits / %d misses, want 2/1", s.CacheHits, s.CacheMisses)
+	}
+	if s.Tail != 2 || s.TrimHorizon != 0 {
+		t.Fatalf("Tail/TrimHorizon = %d/%d", s.Tail, s.TrimHorizon)
+	}
+}
+
+// TestStatsSequencerCuts checks cut count and mean batch size in
+// Scalog-style ordering mode.
+func TestStatsSequencerCuts(t *testing.T) {
+	l := Open(Config{OrderingInterval: 2 * time.Millisecond})
+	defer l.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := l.Append([]Tag{"t"}, []byte{byte(i)}); err != nil {
+				t.Errorf("append: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := l.Stats()
+	if s.SequencerCuts == 0 {
+		t.Fatal("no sequencer cuts recorded")
+	}
+	if s.MeanCutBatch <= 0 {
+		t.Fatalf("MeanCutBatch = %v, want > 0", s.MeanCutBatch)
+	}
+	if got := uint64(s.MeanCutBatch*float64(s.SequencerCuts) + 0.5); got != 10 {
+		t.Fatalf("cuts×mean = %d appends, want 10", got)
+	}
+}
