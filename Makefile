@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench
+.PHONY: check build vet fmt test race bench chaos
 
-# check is the full gate: build, vet, formatting, unit tests, and the
-# race-detector run over the packages with real concurrency.
-check: build vet fmt test race
+# check is the full gate: build, vet, formatting, unit tests, the
+# race-detector run over the packages with real concurrency, and the
+# short seeded chaos suite.
+check: build vet fmt test race chaos
 
 build:
 	$(GO) build ./...
@@ -26,6 +27,12 @@ test:
 # blocking readers, trims, and fault injection interleave.
 race:
 	$(GO) test -race ./internal/sharedlog/... ./internal/core/...
+
+# chaos runs the short seeded chaos suite under the race detector:
+# NEXMark queries under deterministic fault schedules (task kills,
+# zombies, shard crashes, partitions) with exactly-once verification.
+chaos:
+	$(GO) test -race -short -run 'TestChaos|TestGenPlan' ./internal/chaos/ -timeout 300s
 
 # bench runs the sharedlog micro-benchmarks (no -race; see results/).
 bench:

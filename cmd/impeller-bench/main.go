@@ -8,6 +8,7 @@
 //	impeller-bench -exp fig9                   # Q5 cost of exactly-once
 //	impeller-bench -exp table4                 # failure recovery
 //	impeller-bench -exp crossover -duration 20s  # checkpointing vs state growth
+//	impeller-bench -exp chaos                  # exactly-once under fault schedules
 //
 // Absolute numbers depend on the host and the latency calibration; the
 // shapes (who wins, where curves cross) are the reproduction target.
@@ -27,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment: table2 | fig7 | fig8 | fig9 | table4 | crossover")
+		exp      = flag.String("exp", "", "experiment: table2 | fig7 | fig8 | fig9 | table4 | crossover | chaos")
 		query    = flag.Int("query", 0, "NEXMark query (fig7/fig8); 0 = all")
 		rates    = flag.String("rates", "", "comma-separated event rates (events/s)")
 		duration = flag.Duration("duration", 3*time.Second, "measurement duration per point")
@@ -68,6 +69,8 @@ func main() {
 		err = runTable4(parseRates(*rates), *simulate, *scale, progress())
 	case "crossover":
 		err = runCrossover(*query, *duration, *simulate, *scale, progress())
+	case "chaos":
+		err = runChaos(*query, progress())
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -201,5 +204,18 @@ func runTable4(rates []int, simulate bool, scale float64, progress *os.File) err
 	if csvOut != nil {
 		return bench.WriteTable4CSV(csvOut, rows)
 	}
+	return nil
+}
+
+func runChaos(query int, progress *os.File) error {
+	cfg := bench.ChaosConfig{}
+	if query != 0 {
+		cfg.Queries = []int{query}
+	}
+	rows, err := bench.RunChaosTable(cfg, progress)
+	if err != nil {
+		return err
+	}
+	bench.PrintChaosTable(os.Stdout, rows)
 	return nil
 }

@@ -241,6 +241,8 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		CommitInterval:     cfg.CommitInterval,
 		SnapshotInterval:   cfg.SnapshotInterval,
 		CoordinatorLatency: coordLat,
+		Faults:             faults,
+		Seed:               cfg.Seed,
 	}
 	if cfg.EnableGC {
 		c.env.GC = core.NewGCController(c.log)
@@ -264,8 +266,10 @@ func (c *Cluster) LogStats() sharedlog.Stats { return c.log.Stats() }
 func (c *Cluster) Checkpoints() *kvstore.Store { return c.ckpt }
 
 // Faults exposes the cluster's fault injector: crash storage shards
-// ("shard/<i>") or partition clients from the sequencer ("sequencer")
-// to exercise the log's replication and failure paths.
+// ("shard/<i>"), partition clients from the sequencer ("sequencer") or
+// a shard, crash a task's compute node (core.ComputeNode(id)), or
+// inject latency spikes — the chaos harness drives seeded schedules of
+// all of these against the log's replication and retry paths.
 func (c *Cluster) Faults() *sim.FaultInjector { return c.faults }
 
 // Close shuts the cluster down. Running apps must be stopped first.

@@ -1,0 +1,485 @@
+// Package chaos is a deterministic fault-injection harness: it runs a
+// full NEXMark query under a seeded schedule of crashes, partitions,
+// latency spikes, task kills, and zombie resurrections, and verifies
+// the exactly-once output invariant against an oracle replay of the
+// inputs. The same (seed, config) pair always generates the same fault
+// plan, so a failing run reproduces.
+//
+// The harness exercises both fault planes:
+//
+//   - infrastructure faults (log-shard crashes, client↔sequencer and
+//     client↔shard partitions, sequencer/shard latency spikes) come
+//     from sim.GenFaultSchedule and stress the log's replication and
+//     the runtime's transient-fault retry layer;
+//   - process faults (task kills, double-kills that land mid-recovery,
+//     zombie resurrection via Manager.Zombify, compute-node crashes)
+//     come from a second deterministic stream and stress recovery,
+//     restart backoff, and fencing.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"impeller"
+	"impeller/internal/core"
+	"impeller/internal/nexmark"
+	"impeller/internal/sim"
+)
+
+// Config parameterizes one chaos run. The zero value is not runnable;
+// Query must be one of 1, 11, 12 (the queries with closed-form output
+// oracles).
+type Config struct {
+	// Query selects the NEXMark query: 1 (stateless map), 11 (session
+	// windows), or 12 (tumbling windows).
+	Query int
+	// Protocol selects the fault-tolerance protocol under test.
+	Protocol impeller.Protocol
+	// Seed fixes the fault plan, the generators, and the log simulation
+	// (0 uses 1).
+	Seed uint64
+	// Events is the input count per generator (default 600).
+	Events int
+	// Parallelism is the per-stage task count (default 2).
+	Parallelism int
+	// Generators is the number of ingress writers (default 2).
+	Generators int
+	// CommitInterval is the protocol's commit interval (default 20 ms —
+	// short, so faults land between many commit points).
+	CommitInterval time.Duration
+	// InfraFaults is the number of log-side faults to schedule via
+	// sim.GenFaultSchedule (default 8).
+	InfraFaults int
+	// Kills is the number of task kills (default 8); every third kill
+	// is a double-kill whose second kill lands while the replacement is
+	// recovering.
+	Kills int
+	// Zombies is the number of zombie resurrections (default 4). The
+	// aligned-checkpoint protocol has no zombie fencing race (recovery
+	// is epoch-gated by the coordinator), so its zombies are converted
+	// to kills to keep the fault count.
+	Zombies int
+	// NodeCrashes is the number of compute-node crash/recover pairs
+	// (default 2); a crashed node fails every log operation of its
+	// task, exercising the fatal path of the retry layer and the
+	// manager's restart backoff.
+	NodeCrashes int
+	// Duration is the fault window; inputs are paced across it and
+	// every fault starts inside it (default 1.2 s).
+	Duration time.Duration
+	// Timeout bounds how long the run may take to converge after the
+	// faults heal (default 30 s).
+	Timeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Events <= 0 {
+		c.Events = 600
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 2
+	}
+	if c.Generators <= 0 {
+		c.Generators = 2
+	}
+	if c.CommitInterval <= 0 {
+		c.CommitInterval = 20 * time.Millisecond
+	}
+	if c.InfraFaults <= 0 {
+		c.InfraFaults = 8
+	}
+	if c.Kills <= 0 {
+		c.Kills = 8
+	}
+	if c.Zombies < 0 {
+		c.Zombies = 0
+	} else if c.Zombies == 0 {
+		c.Zombies = 4
+	}
+	if c.NodeCrashes <= 0 {
+		c.NodeCrashes = 2
+	}
+	if c.Duration <= 0 {
+		c.Duration = 1200 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// FaultKind is the kind of one scheduled process fault.
+type FaultKind int
+
+const (
+	// KillTask crashes a task once; the manager restarts it.
+	KillTask FaultKind = iota
+	// DoubleKillTask crashes a task, then crashes its replacement a
+	// few monitor ticks later — usually mid-recovery.
+	DoubleKillTask
+	// ZombifyTask keeps the old instance running while the manager
+	// starts a replacement; the zombie's next conditional append must
+	// lose to the replacement's fence.
+	ZombifyTask
+	// CrashNode crashes the task's compute node for Outage: every log
+	// operation of that task fails fatally until the node recovers.
+	CrashNode
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case KillTask:
+		return "kill"
+	case DoubleKillTask:
+		return "double-kill"
+	case ZombifyTask:
+		return "zombify"
+	case CrashNode:
+		return "node-crash"
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// TaskFault is one scheduled process fault at offset At from the start
+// of the run.
+type TaskFault struct {
+	At     time.Duration
+	Kind   FaultKind
+	Target impeller.TaskID
+	// Outage is how long a CrashNode fault lasts.
+	Outage time.Duration
+}
+
+// Plan is the full deterministic fault plan of one run.
+type Plan struct {
+	// Infra is the log-side schedule (shard crashes, partitions,
+	// latency spikes), played by sim.FaultSchedule.Play.
+	Infra sim.FaultSchedule
+	// Tasks are the process faults, sorted by At.
+	Tasks []TaskFault
+	// Faults counts injected faults across both planes (a double-kill
+	// counts twice; recoveries are not faults).
+	Faults int
+}
+
+// logShards mirrors the cluster default (4 shards, replication 3).
+const logShards = 3 + 1
+
+// planSeedSalt decouples the process-fault stream from the infra
+// schedule's randomness so tuning one plane does not reshuffle the
+// other.
+const planSeedSalt = 0x9e3779b97f4a7c15
+
+// GenPlan deterministically generates the fault plan for a run over
+// the given task set. The same (cfg, targets) always yields the same
+// plan. Kills land anywhere in the window; zombies land in its first
+// 70% so input keeps flowing while the zombie races its replacement —
+// that race is what forces a fenced append onto the log.
+func GenPlan(cfg Config, targets []impeller.TaskID) Plan {
+	cfg = cfg.withDefaults()
+	shards := make([]string, logShards)
+	pairs := [][2]string{{"client", "sequencer"}}
+	for i := range shards {
+		shards[i] = fmt.Sprintf("shard/%d", i)
+		pairs = append(pairs, [2]string{"client", shards[i]})
+	}
+	plan := Plan{Infra: sim.GenFaultSchedule(cfg.Seed, sim.ScheduleConfig{
+		Duration:  cfg.Duration,
+		Crashable: shards,
+		Pairs:     pairs,
+		Slowable:  append([]string{"sequencer"}, shards...),
+		Faults:    cfg.InfraFaults,
+		// Replication 3 over 4 shards: two concurrent shard crashes
+		// still leave every LSN with a live replica.
+		MaxDown: 2,
+	})}
+	plan.Faults = plan.Infra.Faults
+
+	sorted := append([]impeller.TaskID(nil), targets...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if len(sorted) == 0 {
+		return plan
+	}
+	rng := sim.NewRand(cfg.Seed ^ planSeedSalt)
+	between := func(lo, hi time.Duration) time.Duration {
+		return lo + time.Duration(rng.Int63()%int64(hi-lo))
+	}
+	pick := func() impeller.TaskID { return sorted[rng.Intn(len(sorted))] }
+
+	kills, zombies := cfg.Kills, cfg.Zombies
+	if cfg.Protocol == impeller.AlignedCheckpoint {
+		kills += zombies
+		zombies = 0
+	}
+	for i := 0; i < kills; i++ {
+		f := TaskFault{At: between(cfg.Duration/10, cfg.Duration), Kind: KillTask, Target: pick()}
+		if i%3 == 0 {
+			f.Kind = DoubleKillTask
+			plan.Faults++ // the second kill is its own fault
+		}
+		plan.Tasks = append(plan.Tasks, f)
+		plan.Faults++
+	}
+	for i := 0; i < zombies; i++ {
+		plan.Tasks = append(plan.Tasks, TaskFault{
+			At:     between(cfg.Duration/5, cfg.Duration*7/10),
+			Kind:   ZombifyTask,
+			Target: pick(),
+		})
+		plan.Faults++
+	}
+	for i := 0; i < cfg.NodeCrashes; i++ {
+		plan.Tasks = append(plan.Tasks, TaskFault{
+			At:     between(cfg.Duration/10, cfg.Duration*8/10),
+			Kind:   CrashNode,
+			Target: pick(),
+			Outage: between(30*time.Millisecond, 150*time.Millisecond),
+		})
+		plan.Faults++
+	}
+	sort.SliceStable(plan.Tasks, func(i, j int) bool { return plan.Tasks[i].At < plan.Tasks[j].At })
+	return plan
+}
+
+// Result is the outcome of one chaos run.
+type Result struct {
+	Config Config
+	Plan   Plan
+	// Sent counts input events accepted by the ingress writers; Bids is
+	// the subset the oracle tracks.
+	Sent uint64
+	Bids int
+	// Delivered / Duplicates / DroppedUncommitted are the gated sink's
+	// counters: distinct records delivered, replayed records suppressed
+	// by sequence-number dedup, and uncommitted records discarded.
+	Delivered, Duplicates, DroppedUncommitted uint64
+	// Restarts sums task restarts; Zombified counts zombies actually
+	// planted (a zombify racing a concurrent restart may miss).
+	Restarts, Zombified int
+	// Retries / CondFailed / DecodeFailures observe the retry layer,
+	// the log's fencing rejections, and corrupt-checkpoint fallbacks.
+	Retries, CondFailed, DecodeFailures uint64
+	// MaxRecovery is the longest single task recovery.
+	MaxRecovery time.Duration
+	// Converged reports whether the oracle's expected output was fully
+	// observed before Timeout; Violation is non-empty if the output
+	// ever contradicted exactly-once semantics (terminal).
+	Converged bool
+	Violation string
+	Elapsed   time.Duration
+}
+
+// String renders one run as a table row.
+func (r *Result) String() string {
+	status := "ok"
+	if r.Violation != "" {
+		status = "VIOLATION: " + r.Violation
+	} else if !r.Converged {
+		status = "STUCK"
+	}
+	return fmt.Sprintf("q%-2d %-18s seed=%-3d faults=%-2d restarts=%-2d retries=%-4d fenced=%-2d maxrec=%-8v %s",
+		r.Config.Query, r.Config.Protocol, r.Config.Seed, r.Plan.Faults,
+		r.Restarts, r.Retries, r.CondFailed, r.MaxRecovery.Round(100*time.Microsecond), status)
+}
+
+// eventSpacing returns the synthetic event-time step for a query,
+// chosen so the run exercises that query's window semantics: Q11's
+// span stays far inside one session gap (one session per bidder, so
+// the oracle's expected count is closed-form), Q12's span crosses a
+// tumbling-window boundary.
+func eventSpacing(query int) int64 {
+	if query == 12 {
+		return 25_000 // 25 ms × 600 events ≈ 15 s: crosses the 10 s window
+	}
+	return 1_000 // 1 ms × 600 events ≈ 0.6 s: well inside Q11's 10 s gap
+}
+
+// eventBase offsets synthetic event times so no tumbling window start
+// precedes time zero (negative window starts are dropped).
+const eventBase int64 = 1_000_000 // 1 s in µs
+
+// Run executes one chaos run: build the query, pace the input across
+// the fault window while both fault planes play their schedules, heal
+// everything, and poll the oracle until the output converges or the
+// invariant breaks.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	orc, err := newOracle(cfg.Query)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	cluster := impeller.NewCluster(impeller.ClusterConfig{
+		Protocol:             cfg.Protocol,
+		CommitInterval:       cfg.CommitInterval,
+		DefaultParallelism:   cfg.Parallelism,
+		IngressWriters:       cfg.Generators,
+		IngressFlushInterval: 5 * time.Millisecond,
+		LogShards:            logShards,
+		Seed:                 cfg.Seed,
+	})
+	defer cluster.Close()
+	topo, err := nexmark.BuildOpts(cfg.Query, nexmark.Options{PerUpdateWindows: true})
+	if err != nil {
+		return nil, err
+	}
+	app, err := cluster.Run(topo)
+	if err != nil {
+		return nil, err
+	}
+	defer app.Stop()
+	mgr := app.Manager()
+	// Short failure detection: a 20 ms commit interval pairs with fast
+	// heartbeats so kills are detected within a few commit points.
+	mgr.SetTimeouts(6*cfg.CommitInterval, cfg.CommitInterval)
+
+	plan := GenPlan(cfg, mgr.TaskIDs())
+	res := &Result{Config: cfg, Plan: plan}
+
+	outs := newOutputs()
+	sink := app.Sink(nexmark.OutputStream(cfg.Query), true, func(r impeller.Record, _ impeller.TaskID, _ time.Time) {
+		outs.add(r.Key, r.Value)
+	})
+
+	// Input: each generator paces Events records across the fault
+	// window with deterministic synthetic event times; the oracle
+	// records every event before it is sent.
+	runCtx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	spacing := eventSpacing(cfg.Query)
+	pace := cfg.Duration / time.Duration(cfg.Events)
+	for g := 0; g < cfg.Generators; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			gen := nexmark.NewGenerator(cfg.Seed + uint64(g))
+			for i := 0; i < cfg.Events; i++ {
+				et := eventBase + int64(i)*spacing
+				ev := gen.Next(et)
+				key := []byte(fmt.Sprintf("%d-%d", g, i))
+				orc.record(key, ev.Payload)
+				if err := app.SendVia(nexmark.EventStream, g, key, ev.Payload, et); err != nil {
+					return
+				}
+				select {
+				case <-runCtx.Done():
+					return
+				case <-time.After(pace):
+				}
+			}
+		}(g)
+	}
+
+	// Fault planes. Play applies any outstanding recoveries when its
+	// context is cancelled, and Reset below heals whatever is left
+	// (e.g. node crashes whose recovery timer has not fired).
+	faults := cluster.Faults()
+	playCtx, stopPlay := context.WithCancel(runCtx)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		plan.Infra.Play(playCtx, nil, faults)
+	}()
+	var zombified int64
+	var zmu sync.Mutex
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t0 := time.Now()
+		for _, f := range plan.Tasks {
+			if wait := f.At - time.Since(t0); wait > 0 {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-time.After(wait):
+				}
+			}
+			switch f.Kind {
+			case KillTask:
+				_ = mgr.Kill(f.Target)
+			case DoubleKillTask:
+				_ = mgr.Kill(f.Target)
+				wg.Add(1)
+				go func(id impeller.TaskID) {
+					defer wg.Done()
+					// Three monitor ticks: enough for the replacement to
+					// spawn and enter recovery before the second kill.
+					select {
+					case <-runCtx.Done():
+					case <-time.After(3 * cfg.CommitInterval):
+						_ = mgr.Kill(id)
+					}
+				}(f.Target)
+			case ZombifyTask:
+				if mgr.Zombify(f.Target) == nil {
+					zmu.Lock()
+					zombified++
+					zmu.Unlock()
+				}
+			case CrashNode:
+				node := core.ComputeNode(core.TaskID(f.Target))
+				faults.Crash(node)
+				wg.Add(1)
+				go func(outage time.Duration) {
+					defer wg.Done()
+					select {
+					case <-runCtx.Done():
+					case <-time.After(outage):
+					}
+					faults.Recover(node)
+				}(f.Outage)
+			}
+		}
+	}()
+
+	// Wait for the senders and both fault planes, then heal the world:
+	// from here on the run must converge on its own.
+	wg.Wait()
+	stopPlay()
+	faults.Reset()
+
+	deadline := start.Add(cfg.Timeout)
+	for {
+		done, violation := orc.check(outs)
+		if violation != "" {
+			res.Violation = violation
+			break
+		}
+		if done {
+			res.Converged = true
+			break
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	res.Sent = app.InputCount()
+	res.Bids = orc.inputs()
+	res.Zombified = int(zombified)
+	for _, id := range mgr.TaskIDs() {
+		res.Restarts += mgr.Restarts(id)
+		if m := mgr.TaskMetrics(id); m != nil {
+			if d := time.Duration(m.RecoveryNanos.Load()); d > res.MaxRecovery {
+				res.MaxRecovery = d
+			}
+		}
+	}
+	qm := app.Metrics()
+	res.Retries = qm.Retries
+	res.DecodeFailures = qm.CheckpointDecodeFailures
+	res.CondFailed = cluster.LogStats().CondFailed
+	res.Delivered, res.Duplicates, res.DroppedUncommitted = sink.Counts()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

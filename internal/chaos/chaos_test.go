@@ -1,0 +1,110 @@
+package chaos
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"impeller"
+)
+
+var protocols = []impeller.Protocol{
+	impeller.ProgressMarker,
+	impeller.KafkaTxn,
+	impeller.AlignedCheckpoint,
+}
+
+// TestChaos is the exactly-once chaos matrix: three NEXMark queries ×
+// three fault-tolerance protocols, each under a seeded fault schedule
+// of at least 20 injected faults across the log and process planes.
+// In -short mode one query runs per protocol.
+func TestChaos(t *testing.T) {
+	queries := []int{1, 11, 12}
+	for i, proto := range protocols {
+		for j, query := range queries {
+			if testing.Short() && j != i {
+				continue
+			}
+			proto, query := proto, query
+			t.Run(fmt.Sprintf("q%d-%s", query, proto), func(t *testing.T) {
+				t.Parallel()
+				res, err := Run(Config{Query: query, Protocol: proto, Seed: 7})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Log(res)
+				if res.Violation != "" {
+					t.Fatalf("exactly-once violation: %s", res.Violation)
+				}
+				if !res.Converged {
+					t.Fatalf("output never converged: sent=%d bids=%d delivered=%d restarts=%d",
+						res.Sent, res.Bids, res.Delivered, res.Restarts)
+				}
+				if res.Plan.Faults < 20 {
+					t.Fatalf("plan injected %d faults, want >= 20", res.Plan.Faults)
+				}
+				if res.Restarts == 0 {
+					t.Fatal("no task ever restarted; the schedule injected nothing")
+				}
+				if proto == impeller.ProgressMarker {
+					if res.Zombified == 0 {
+						t.Fatal("no zombie was ever planted")
+					}
+					if res.CondFailed == 0 {
+						t.Fatal("no zombie append was fenced (CondFailed = 0)")
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestGenPlanDeterministic: the same (config, targets) must yield the
+// same plan, and a different seed a different one.
+func TestGenPlanDeterministic(t *testing.T) {
+	targets := []impeller.TaskID{"a/0", "a/1", "b/0", "b/1"}
+	cfg := Config{Query: 11, Protocol: impeller.ProgressMarker, Seed: 42}
+	p1 := GenPlan(cfg, targets)
+	p2 := GenPlan(cfg, targets)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("same seed produced different plans")
+	}
+	// Target order must not matter: the plan sorts before sampling.
+	shuffled := []impeller.TaskID{"b/1", "a/0", "b/0", "a/1"}
+	if p3 := GenPlan(cfg, shuffled); !reflect.DeepEqual(p1, p3) {
+		t.Fatal("target order changed the plan")
+	}
+	cfg.Seed = 43
+	if p4 := GenPlan(cfg, targets); reflect.DeepEqual(p1.Tasks, p4.Tasks) {
+		t.Fatal("different seed produced the same task-fault stream")
+	}
+	if p1.Faults < 20 {
+		t.Fatalf("default plan has %d faults, want >= 20", p1.Faults)
+	}
+}
+
+// TestGenPlanAlignedHasNoZombies: aligned-checkpoint runs convert
+// zombies to kills (no fencing race to exercise) without shrinking
+// the fault budget.
+func TestGenPlanAlignedHasNoZombies(t *testing.T) {
+	targets := []impeller.TaskID{"a/0", "a/1"}
+	marker := GenPlan(Config{Query: 1, Protocol: impeller.ProgressMarker, Seed: 5}, targets)
+	aligned := GenPlan(Config{Query: 1, Protocol: impeller.AlignedCheckpoint, Seed: 5}, targets)
+	for _, f := range aligned.Tasks {
+		if f.Kind == ZombifyTask {
+			t.Fatalf("aligned plan contains a zombify at %v", f.At)
+		}
+	}
+	if aligned.Faults < marker.Faults {
+		t.Fatalf("aligned plan has %d faults, marker has %d", aligned.Faults, marker.Faults)
+	}
+	found := false
+	for _, f := range marker.Tasks {
+		if f.Kind == ZombifyTask {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("marker plan contains no zombify")
+	}
+}

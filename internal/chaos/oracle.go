@@ -1,0 +1,255 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"impeller"
+	"impeller/internal/nexmark"
+)
+
+// outputs collects what the gated sink delivered: per output key, how
+// many distinct (non-duplicate) deliveries happened and the last value
+// in delivery order. The sink delivers each key's records in log
+// order from a single producing task, so "last" is well-defined.
+type outputs struct {
+	mu    sync.Mutex
+	cells map[string]*cell
+}
+
+type cell struct {
+	count uint64
+	last  []byte
+}
+
+func newOutputs() *outputs {
+	return &outputs{cells: make(map[string]*cell)}
+}
+
+func (o *outputs) add(key, value []byte) {
+	o.mu.Lock()
+	c := o.cells[string(key)]
+	if c == nil {
+		c = &cell{}
+		o.cells[string(key)] = c
+	}
+	c.count++
+	c.last = append(c.last[:0], value...)
+	o.mu.Unlock()
+}
+
+// oracle verifies a query's output against a replay of the recorded
+// inputs. record is called once per input event before it is sent;
+// check is polled with the sink's observed outputs and reports
+// (done, violation): done once every expected output has converged,
+// violation (terminal) the moment any output contradicts exactly-once
+// semantics — a duplicated delivery, an over-counted aggregate, or an
+// output no input explains.
+type oracle interface {
+	record(key, payload []byte)
+	check(o *outputs) (done bool, violation string)
+	inputs() int
+}
+
+func newOracle(query int) (oracle, error) {
+	switch query {
+	case 1:
+		return &q1Oracle{expect: make(map[string][]byte)}, nil
+	case 11:
+		return &q11Oracle{bidders: make(map[uint64]*span)}, nil
+	case 12:
+		return &q12Oracle{expect: make(map[q12Key]uint64)}, nil
+	}
+	return nil, fmt.Errorf("chaos: no oracle for query %d (want 1, 11, or 12)", query)
+}
+
+func u64le(v uint64) []byte { return binary.LittleEndian.AppendUint64(nil, v) }
+
+// q1Oracle checks the currency-conversion map: every input bid must
+// appear exactly once under its input key with the converted price;
+// non-bids must not appear at all.
+type q1Oracle struct {
+	mu     sync.Mutex
+	expect map[string][]byte
+}
+
+func (q *q1Oracle) record(key, payload []byte) {
+	bid, err := nexmark.DecodeBid(payload)
+	if err != nil {
+		return // person or auction: filtered out by the query
+	}
+	bid.Price = bid.Price * 908 / 1000
+	q.mu.Lock()
+	q.expect[string(key)] = bid.Encode()
+	q.mu.Unlock()
+}
+
+func (q *q1Oracle) inputs() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.expect)
+}
+
+func (q *q1Oracle) check(o *outputs) (bool, string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for key, c := range o.cells {
+		want, ok := q.expect[key]
+		if !ok {
+			return false, fmt.Sprintf("q1: output %q has no matching input", key)
+		}
+		if c.count > 1 {
+			return false, fmt.Sprintf("q1: key %q delivered %d times", key, c.count)
+		}
+		if !bytes.Equal(c.last, want) {
+			return false, fmt.Sprintf("q1: key %q has wrong converted bid", key)
+		}
+	}
+	return len(o.cells) == len(q.expect), ""
+}
+
+// span is one bidder's expected session: the harness spaces event
+// times far inside the session gap, so all of a bidder's bids belong
+// to a single session spanning [min, max].
+type span struct {
+	count    uint64
+	min, max int64
+}
+
+// q11Oracle checks session counts. Per-update emission keys carry the
+// session's current bounds, so intermediate keys differ from the
+// final one; the invariant is that no emission for a bidder ever
+// exceeds that bidder's total (an over-count means a double-applied
+// input), and the final session key converges to exactly the total.
+type q11Oracle struct {
+	mu      sync.Mutex
+	bidders map[uint64]*span
+}
+
+func (q *q11Oracle) record(key, payload []byte) {
+	bid, err := nexmark.DecodeBid(payload)
+	if err != nil {
+		return
+	}
+	q.mu.Lock()
+	s := q.bidders[bid.Bidder]
+	if s == nil {
+		s = &span{min: bid.DateTime, max: bid.DateTime}
+		q.bidders[bid.Bidder] = s
+	}
+	if bid.DateTime < s.min {
+		s.min = bid.DateTime
+	}
+	if bid.DateTime > s.max {
+		s.max = bid.DateTime
+	}
+	s.count++
+	q.mu.Unlock()
+}
+
+func (q *q11Oracle) inputs() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, s := range q.bidders {
+		n += int(s.count)
+	}
+	return n
+}
+
+func (q *q11Oracle) check(o *outputs) (bool, string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for key, c := range o.cells {
+		_, _, kb, err := impeller.SplitWindowKey([]byte(key))
+		if err != nil || len(kb) != 8 {
+			return false, fmt.Sprintf("q11: malformed session key %x", key)
+		}
+		bidder := binary.LittleEndian.Uint64(kb)
+		s, ok := q.bidders[bidder]
+		if !ok {
+			return false, fmt.Sprintf("q11: session output for unknown bidder %d", bidder)
+		}
+		if n := nexmark.CountValue(c.last); n > s.count {
+			return false, fmt.Sprintf("q11: bidder %d counted %d bids, only %d sent", bidder, n, s.count)
+		}
+	}
+	gap := nexmark.Q11Gap.Microseconds()
+	for bidder, s := range q.bidders {
+		final := impeller.WindowKey(s.min, s.max+gap, u64le(bidder))
+		c, ok := o.cells[string(final)]
+		if !ok || nexmark.CountValue(c.last) != s.count {
+			return false, ""
+		}
+	}
+	return true, ""
+}
+
+type q12Key struct {
+	bidder uint64
+	start  int64
+}
+
+// q12Oracle checks tumbling-window counts: per (bidder, window), the
+// last delivered value must converge to exactly the number of bids
+// that bidder placed inside the window, and no emission may exceed it.
+type q12Oracle struct {
+	mu     sync.Mutex
+	expect map[q12Key]uint64
+}
+
+func (q *q12Oracle) record(key, payload []byte) {
+	bid, err := nexmark.DecodeBid(payload)
+	if err != nil {
+		return
+	}
+	size := nexmark.Q12Window.Size.Microseconds()
+	q.mu.Lock()
+	q.expect[q12Key{bid.Bidder, (bid.DateTime / size) * size}]++
+	q.mu.Unlock()
+}
+
+func (q *q12Oracle) inputs() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, c := range q.expect {
+		n += int(c)
+	}
+	return n
+}
+
+func (q *q12Oracle) check(o *outputs) (bool, string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	size := nexmark.Q12Window.Size.Microseconds()
+	for key, c := range o.cells {
+		start, end, kb, err := impeller.SplitWindowKey([]byte(key))
+		if err != nil || len(kb) != 8 || end != start+size {
+			return false, fmt.Sprintf("q12: malformed window key %x", key)
+		}
+		want, ok := q.expect[q12Key{binary.LittleEndian.Uint64(kb), start}]
+		if !ok {
+			return false, fmt.Sprintf("q12: output for window %d with no input", start)
+		}
+		if n := nexmark.CountValue(c.last); n > want {
+			return false, fmt.Sprintf("q12: window %d counted %d bids, only %d sent", start, n, want)
+		}
+	}
+	for k, want := range q.expect {
+		key := impeller.WindowKey(k.start, k.start+size, u64le(k.bidder))
+		c, ok := o.cells[string(key)]
+		if !ok || nexmark.CountValue(c.last) != want {
+			return false, ""
+		}
+	}
+	return true, ""
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"impeller/internal/sharedlog"
@@ -19,6 +20,11 @@ import (
 type appender struct {
 	log *sharedlog.Log
 	ch  chan appendJob
+
+	// retry, when non-nil, retries transient log faults per job under
+	// ctx (the owning task's run context); a nil retry appends once.
+	retry *retrier
+	ctx   context.Context
 
 	// inflight counts submitted-but-incomplete jobs. Only the owning
 	// task goroutine calls submit and drain, so Add cannot race Wait.
@@ -43,10 +49,31 @@ func newAppender(log *sharedlog.Log, depth int) *appender {
 	return a
 }
 
+// newRetryingAppender builds an appender that retries transient log
+// faults (crashed shards, partitions) per job before giving up.
+func newRetryingAppender(log *sharedlog.Log, depth int, retry *retrier, ctx context.Context) *appender {
+	a := &appender{
+		log: log, ch: make(chan appendJob, depth), done: make(chan struct{}),
+		retry: retry, ctx: ctx,
+	}
+	go a.run()
+	return a
+}
+
 func (a *appender) run() {
 	defer close(a.done)
 	for job := range a.ch {
-		lsn, err := a.log.Append(job.tags, job.payload)
+		var lsn LSN
+		var err error
+		if a.retry != nil {
+			err = a.retry.do(a.ctx, "append", func() error {
+				var e error
+				lsn, e = a.log.Append(job.tags, job.payload)
+				return e
+			})
+		} else {
+			lsn, err = a.log.Append(job.tags, job.payload)
+		}
 		if err != nil {
 			a.mu.Lock()
 			if a.err == nil {

@@ -69,11 +69,22 @@ func (t *Task) onBarrier(b *Batch, lsn LSN) error {
 	if b.Epoch <= t.epoch {
 		return nil // stale barrier from before our restore point
 	}
+	if a.epoch != 0 && b.Epoch > a.epoch {
+		// A newer epoch's barrier means the coordinator aborted the
+		// checkpoint we were aligning on (a participant crashed before
+		// its barrier reached us). Abandon it — unblock the producers
+		// and replay their side-buffered records — and align on the
+		// new epoch instead, so the task does not stall forever behind
+		// an epoch that can never complete.
+		if err := t.releaseAlignment(); err != nil {
+			return err
+		}
+	}
 	if a.epoch == 0 {
 		a.epoch = b.Epoch
 	}
 	if b.Epoch != a.epoch {
-		return nil // only one checkpoint is in flight system-wide
+		return nil // stale barrier for an aborted earlier epoch
 	}
 	a.arrived[b.Producer] = lsn
 	if len(a.arrived) < a.expected {
@@ -125,8 +136,14 @@ func (t *Task) completeAlignment() error {
 		t.ckpt.Ack(t.ID, a.epoch)
 	}
 	t.epoch = a.epoch
+	return t.releaseAlignment()
+}
 
-	// Unblock: replay the buffered post-barrier batches in LSN order.
+// releaseAlignment resets alignment state and replays the buffered
+// post-barrier batches in LSN order — used both when an alignment
+// completes and when a newer epoch's barrier abandons an aborted one.
+func (t *Task) releaseAlignment() error {
+	a := t.align
 	side := a.side
 	a.side = nil
 	a.arrived = make(map[TaskID]LSN)
@@ -229,6 +246,11 @@ func readTaskLSNMap(buf []byte, p int) (map[TaskID]LSN, int, error) {
 	}
 	n := int(binary.LittleEndian.Uint32(buf[p:]))
 	p += 4
+	// An entry is at least 10 bytes (2-byte key length + 8-byte LSN);
+	// reject corrupt counts before allocating.
+	if n > (len(buf)-p)/10 {
+		return nil, 0, ErrBadEncoding
+	}
 	m := make(map[TaskID]LSN, n)
 	for i := 0; i < n; i++ {
 		if p+2 > len(buf) {

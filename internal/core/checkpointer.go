@@ -23,6 +23,7 @@ type Checkpointer struct {
 	env  *Env
 
 	shadow *StateStore
+	retry  *retrier
 	// markerAt is the next task-log position to read.
 	markerAt LSN
 
@@ -43,6 +44,10 @@ func NewCheckpointer(task TaskID, env *Env) *Checkpointer {
 		task:   task,
 		env:    env,
 		shadow: NewStateStore(nil),
+		// The checkpointer runs on the manager, not the task's compute
+		// node, so its retrier carries no node identity — shard faults
+		// still surface as retryable ErrUnavailable reads.
+		retry: newRetrier(env, "", nil),
 	}
 }
 
@@ -58,7 +63,13 @@ func (c *Checkpointer) Run(ctx context.Context) {
 		case <-c.env.Clock.After(c.env.SnapshotInterval):
 		}
 		if err := c.Checkpoint(ctx); err != nil {
-			return
+			if ctx.Err() != nil {
+				return
+			}
+			// Transient failure even after retries (e.g. a long shard
+			// outage): skip this round and try again next interval —
+			// recovery falls back to the change log meanwhile.
+			continue
 		}
 	}
 }
@@ -111,7 +122,7 @@ func (c *Checkpointer) advance(ctx context.Context) (bool, error) {
 		if err := ctx.Err(); err != nil {
 			return advanced, err
 		}
-		rec, err := c.env.Log.ReadNext(taskTag, c.markerAt)
+		rec, err := c.readNext(ctx, taskTag, c.markerAt)
 		if err == sharedlog.ErrTrimmed {
 			c.markerAt = c.env.Log.TrimHorizon()
 			continue
@@ -134,7 +145,7 @@ func (c *Checkpointer) advance(ctx context.Context) (bool, error) {
 		if m.ChangeFirst != NoLSN {
 			pos := m.ChangeFirst
 			for pos <= rec.LSN {
-				crec, err := c.env.Log.ReadNext(changeTag, pos)
+				crec, err := c.readNext(ctx, changeTag, pos)
 				if err != nil {
 					return advanced, err
 				}
@@ -164,6 +175,19 @@ func (c *Checkpointer) advance(ctx context.Context) (bool, error) {
 		c.mu.Unlock()
 		advanced = true
 	}
+}
+
+// readNext wraps the change/task-log read in the transient-fault retry
+// loop (ErrTrimmed is not retryable and passes through to the caller's
+// horizon handling).
+func (c *Checkpointer) readNext(ctx context.Context, tag sharedlog.Tag, from LSN) (*sharedlog.Record, error) {
+	var rec *sharedlog.Record
+	err := c.retry.do(ctx, "ckpt read "+string(tag), func() error {
+		var e error
+		rec, e = c.env.Log.ReadNext(tag, from)
+		return e
+	})
+	return rec, err
 }
 
 // Covered reports the LSN of the newest marker folded into checkpoints;

@@ -15,7 +15,7 @@ import (
 func (t *Task) commit(ctx context.Context) error {
 	switch t.env.Protocol {
 	case ProtoProgressMarker:
-		return t.commitMarker()
+		return t.commitMarker(ctx)
 	case ProtoKafkaTxn:
 		return t.commitTxn(ctx)
 	case ProtoAlignedCheckpoint, ProtoUnsafe:
@@ -30,7 +30,7 @@ func (t *Task) commit(ctx context.Context) error {
 // output, and state-change progress, atomically visible in every
 // downstream substream, the task log, and the change log through the
 // log's multi-tag append (paper §3.3.1, Figure 4 and Figure 6).
-func (t *Task) commitMarker() error {
+func (t *Task) commitMarker(ctx context.Context) error {
 	t.flushOutputs()
 	if err := t.drainAppends(); err != nil {
 		return err
@@ -74,8 +74,17 @@ func (t *Task) commitMarker() error {
 
 	// The conditional append fences zombies: it succeeds only while the
 	// metadata store still maps our task id to our instance number
-	// (paper §3.4).
-	markerLSN, err := t.log.ConditionalAppend(tags, payload, InstanceKey(t.ID), t.Instance)
+	// (paper §3.4). Transient log faults are retried — the guard makes
+	// the retry safe: either no attempt committed (retry is a fresh
+	// try) or one did and the next returns ErrCondFailed only if we
+	// were fenced meanwhile. A fencing rejection is fatal, never
+	// retried: the answer cannot change.
+	var markerLSN LSN
+	err := t.retry.do(ctx, "marker append", func() error {
+		var e error
+		markerLSN, e = t.log.ConditionalAppend(tags, payload, InstanceKey(t.ID), t.Instance)
+		return e
+	})
 	if errors.Is(err, sharedlog.ErrCondFailed) {
 		return ErrZombie
 	}

@@ -26,6 +26,7 @@ type TxnCoordinator struct {
 	log    *sharedlog.Log
 	env    *Env
 	shards int
+	retry  *retrier
 
 	mu        sync.Mutex
 	instances map[TaskID]uint64
@@ -48,9 +49,14 @@ func NewTxnCoordinator(env *Env, shards int) *TxnCoordinator {
 		shards = 1
 	}
 	return &TxnCoordinator{
-		log:       env.Log,
-		env:       env,
-		shards:    shards,
+		log:    env.Log,
+		env:    env,
+		shards: shards,
+		// The coordinator lives on the storage nodes, so it has no
+		// compute-node identity; its appends still retry transient
+		// sequencer faults — losing a phase-two commit marker would
+		// leave the transaction's outputs unclassifiable downstream.
+		retry:     newRetrier(env, "", nil),
 		instances: make(map[TaskID]uint64),
 		open:      make(map[TaskID]*openTxn),
 	}
@@ -76,7 +82,18 @@ func (c *TxnCoordinator) appendTxnLog(task TaskID, kind string, epoch uint64) {
 	}).Encode()
 	// Best-effort: the coordinator's own stream is bookkeeping; a
 	// closed log during shutdown is not an error path tasks care about.
-	_, _ = c.log.Append([]sharedlog.Tag{TxnStreamTag(c.shardOf(task))}, payload)
+	c.appendRetry([]sharedlog.Tag{TxnStreamTag(c.shardOf(task))}, payload)
+}
+
+// appendRetry appends through the transient-fault retry loop. Phase-two
+// records (commit/abort markers, offsets) are commit points: dropping
+// one on a fault that will heal would leave the transaction's outputs
+// permanently unclassifiable, so the coordinator waits outages out.
+func (c *TxnCoordinator) appendRetry(tags []sharedlog.Tag, payload []byte) {
+	_ = c.retry.do(context.Background(), "txn append", func() error {
+		_, err := c.log.Append(tags, payload)
+		return err
+	})
 }
 
 // Register adds output substreams to the task's current transaction —
@@ -143,7 +160,7 @@ func (c *TxnCoordinator) completePhase2(task TaskID, txn *openTxn) {
 				Instance: txn.instance,
 				Epoch:    txn.epoch,
 			}).Encode()
-			_, _ = c.log.Append([]sharedlog.Tag{tag}, payload)
+			c.appendRetry([]sharedlog.Tag{tag}, payload)
 		}(tag)
 	}
 	wg.Wait()
@@ -155,7 +172,7 @@ func (c *TxnCoordinator) completePhase2(task TaskID, txn *openTxn) {
 			Epoch:    txn.epoch,
 			Control:  txn.offsets.Encode(),
 		}).Encode()
-		_, _ = c.log.Append([]sharedlog.Tag{OffsetStreamTag(task)}, payload)
+		c.appendRetry([]sharedlog.Tag{OffsetStreamTag(task)}, payload)
 	}
 	c.appendTxnLog(task, "commit", txn.epoch)
 
@@ -199,7 +216,7 @@ func (c *TxnCoordinator) Fence(task TaskID, newInstance uint64) {
 			Instance: txn.instance,
 			Epoch:    txn.epoch,
 		}).Encode()
-		_, _ = c.log.Append([]sharedlog.Tag{tag}, payload)
+		c.appendRetry([]sharedlog.Tag{tag}, payload)
 	}
 	c.appendTxnLog(task, "abort", txn.epoch)
 }
@@ -271,14 +288,16 @@ func (c *CkptCoordinator) Tick(now time.Time) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(c.pending) > 0 {
-		if now.Sub(c.started) > c.timeout {
-			c.pending = make(map[TaskID]bool) // abort; epoch never completes
-		} else {
+		if now.Sub(c.started) <= c.timeout {
 			return
 		}
-	}
-	if c.epoch > c.completed {
-		return // initiated but sources haven't finished emitting yet
+		// Abort the stuck checkpoint (a participant crashed, or its
+		// barriers were lost to a fault) and fall through to initiate
+		// the next epoch immediately: the new epoch's barriers
+		// supersede the aborted alignment downstream, so the system
+		// rolls forward instead of wedging on an epoch that can never
+		// complete.
+		c.pending = make(map[TaskID]bool)
 	}
 	c.epoch++
 	c.started = now

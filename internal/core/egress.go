@@ -71,13 +71,16 @@ func (s *Sink) tags() []sharedlog.Tag {
 	return tags
 }
 
-// Run consumes until ctx is done.
+// Run consumes until ctx is done. Transient log faults (a crashed
+// shard, a partition) are waited out with backoff instead of killing
+// the consumer — records are not lost, only delayed.
 func (s *Sink) Run(ctx context.Context) error {
 	tags := s.tags()
 	tagIndex := make(map[sharedlog.Tag]int, len(tags))
 	for i, t := range tags {
 		tagIndex[t] = i
 	}
+	retry := newRetrier(s.env, "", nil)
 	var cursor LSN
 	for {
 		rec, err := s.env.Log.ReadNextAnyBlocking(ctx, tags, cursor)
@@ -87,6 +90,12 @@ func (s *Sink) Run(ctx context.Context) error {
 			}
 			if err == sharedlog.ErrTrimmed {
 				cursor = s.env.Log.TrimHorizon()
+				continue
+			}
+			if sharedlog.IsRetryable(err) {
+				if !retry.sleep(ctx, retry.backoff(0)) {
+					return ctx.Err()
+				}
 				continue
 			}
 			return err

@@ -26,6 +26,7 @@ type Ingress struct {
 	partitions int
 	env        *Env
 	ckpt       *CkptCoordinator
+	retry      *retrier
 
 	mu   sync.Mutex
 	bufs []*batchBuf
@@ -40,7 +41,11 @@ func NewIngress(id TaskID, stream StreamID, partitions int, env *Env, ckpt *Ckpt
 	for i := range bufs {
 		bufs[i] = &batchBuf{}
 	}
-	return &Ingress{ID: id, stream: stream, partitions: partitions, env: env, ckpt: ckpt, bufs: bufs}
+	return &Ingress{
+		ID: id, stream: stream, partitions: partitions, env: env, ckpt: ckpt,
+		bufs:  bufs,
+		retry: newRetrier(env, ComputeNode(id), nil),
+	}
 }
 
 // Send buffers one input record; key selects the substream.
@@ -64,6 +69,10 @@ func (g *Ingress) Sent() uint64 {
 // substream, issued concurrently) and, under aligned checkpoints,
 // injects a barrier when the coordinator has started a new checkpoint.
 func (g *Ingress) Flush() error {
+	return g.flush(context.Background())
+}
+
+func (g *Ingress) flush(ctx context.Context) error {
 	g.mu.Lock()
 	type pending struct {
 		sub     int
@@ -84,8 +93,25 @@ func (g *Ingress) Flush() error {
 		go func(i int, p pending) {
 			defer wg.Done()
 			batch := &Batch{Kind: KindSource, Producer: g.ID, Instance: 1, Records: p.records}
-			_, err := g.env.Log.Append([]sharedlog.Tag{DataTag(g.stream, p.sub)}, batch.Encode())
-			errs[i] = err
+			payload := batch.Encode()
+			errs[i] = g.retry.do(ctx, "ingress append", func() error {
+				_, err := g.env.Log.Append([]sharedlog.Tag{DataTag(g.stream, p.sub)}, payload)
+				return err
+			})
+			if errs[i] != nil {
+				// Input must never be silently lost: put the records
+				// back at the front of the substream buffer (they carry
+				// their assigned sequence numbers, so a later re-append
+				// keeps per-substream order and dedup exact) and let a
+				// future flush retry.
+				g.mu.Lock()
+				buf := g.bufs[p.sub]
+				buf.records = append(p.records, buf.records...)
+				for _, r := range p.records {
+					buf.bytes += 16 + len(r.Key) + len(r.Value)
+				}
+				g.mu.Unlock()
+			}
 		}(i, p)
 	}
 	wg.Wait()
@@ -105,7 +131,13 @@ func (g *Ingress) Flush() error {
 				tags[i] = DataTag(g.stream, i)
 			}
 			payload := (&Batch{Kind: KindBarrier, Producer: g.ID, Instance: 1, Epoch: epoch}).Encode()
-			if _, err := g.env.Log.Append(tags, payload); err != nil {
+			err := g.retry.do(ctx, "barrier append", func() error {
+				_, e := g.env.Log.Append(tags, payload)
+				return e
+			})
+			if err != nil {
+				// Not acked: the coordinator times the epoch out and
+				// aborts it; the next flush injects the next barrier.
 				return err
 			}
 			g.ckpt.Ack(g.ID, epoch)
@@ -115,15 +147,22 @@ func (g *Ingress) Flush() error {
 }
 
 // Run flushes every interval until ctx is done, then performs one final
-// flush so buffered records are not lost on shutdown.
+// flush so buffered records are not lost on shutdown. A flush that
+// fails even after retries (a long outage) keeps its records buffered
+// and is re-attempted at the next interval rather than killing the
+// ingress — losing input would break the exactly-once invariant at the
+// source.
 func (g *Ingress) Run(ctx context.Context, interval time.Duration) error {
 	for {
 		select {
 		case <-ctx.Done():
-			return g.Flush()
+			// Final flush on a fresh context: the run context is
+			// already cancelled, but buffered input must still reach
+			// the log (retries bounded by the policy's OpTimeout).
+			return g.flush(context.Background())
 		case <-g.env.Clock.After(interval):
-			if err := g.Flush(); err != nil {
-				return err
+			if err := g.flush(ctx); err != nil && ctx.Err() != nil {
+				return g.flush(context.Background())
 			}
 		}
 	}

@@ -27,12 +27,22 @@ type Manager struct {
 	// Set them before Start, or afterwards via SetTimeouts.
 	HeartbeatTimeout time.Duration
 	MonitorInterval  time.Duration
+	// RestartBackoffMax caps the exponential restart backoff applied to
+	// flapping tasks (default 1 s). A task whose previous instance
+	// survived at least two monitor intervals restarts immediately;
+	// one that died faster waits MonitorInterval, then doubles per
+	// consecutive flap up to this cap — so a task whose compute node is
+	// down cannot hot-loop the spawn/recover/die cycle.
+	RestartBackoffMax time.Duration
 
 	mu            sync.Mutex
 	handles       map[TaskID]*taskHandle
 	checkpointers map[TaskID]*Checkpointer
 	metrics       map[TaskID]*TaskMetrics
 	restarts      map[TaskID]int
+	backoff       map[TaskID]time.Duration
+	backoffUntil  map[TaskID]time.Time
+	spawnedAt     map[TaskID]time.Time
 	started       bool
 
 	ctx    context.Context
@@ -41,12 +51,13 @@ type Manager struct {
 }
 
 type taskHandle struct {
-	task   *Task
-	cancel context.CancelFunc
-	done   chan struct{}
-	err    error
-	lastHB atomic.Int64 // unix nanos of last heartbeat
-	zombie atomic.Bool  // heartbeats suppressed (simulated partition)
+	task     *Task
+	cancel   context.CancelFunc
+	done     chan struct{}
+	err      error
+	lastHB   atomic.Int64 // unix nanos of last heartbeat
+	exitedAt atomic.Int64 // unix nanos when Run returned (0 = still running)
+	zombie   atomic.Bool  // heartbeats suppressed (simulated partition)
 }
 
 // NewManager builds a manager for query over env. It validates the
@@ -57,14 +68,18 @@ func NewManager(env *Env, query *Query) (*Manager, error) {
 	}
 	e := env.withDefaults()
 	m := &Manager{
-		env:              e,
-		query:            query,
-		HeartbeatTimeout: 20 * e.CommitInterval,
-		MonitorInterval:  e.CommitInterval,
-		handles:          make(map[TaskID]*taskHandle),
-		checkpointers:    make(map[TaskID]*Checkpointer),
-		metrics:          make(map[TaskID]*TaskMetrics),
-		restarts:         make(map[TaskID]int),
+		env:               e,
+		query:             query,
+		HeartbeatTimeout:  20 * e.CommitInterval,
+		MonitorInterval:   e.CommitInterval,
+		RestartBackoffMax: time.Second,
+		handles:           make(map[TaskID]*taskHandle),
+		checkpointers:     make(map[TaskID]*Checkpointer),
+		metrics:           make(map[TaskID]*TaskMetrics),
+		restarts:          make(map[TaskID]int),
+		backoff:           make(map[TaskID]time.Duration),
+		backoffUntil:      make(map[TaskID]time.Time),
+		spawnedAt:         make(map[TaskID]time.Time),
 	}
 	switch e.Protocol {
 	case ProtoKafkaTxn:
@@ -165,6 +180,7 @@ func (m *Manager) spawnLocked(stage *Stage, sub int, id TaskID) {
 	}
 	h := &taskHandle{done: make(chan struct{})}
 	h.lastHB.Store(time.Now().UnixNano())
+	m.spawnedAt[id] = time.Now()
 	task := NewTask(stage, sub, instance, m.env, TaskOptions{
 		Txn:     m.txn,
 		Ckpt:    m.ckpt,
@@ -183,6 +199,7 @@ func (m *Manager) spawnLocked(stage *Stage, sub int, id TaskID) {
 	go func() {
 		defer m.wg.Done()
 		h.err = task.Run(tctx)
+		h.exitedAt.Store(time.Now().UnixNano())
 		close(h.done)
 	}()
 }
@@ -223,6 +240,35 @@ func (m *Manager) monitor() {
 			stage, sub := m.locate(id)
 			if stage == nil {
 				continue
+			}
+			// Bounded restart backoff: a task that keeps dying right
+			// after spawn (e.g. its compute node is crashed, so every
+			// replacement fails during recovery) is paced instead of
+			// hot-looped. A healthy uptime resets the backoff.
+			wall := time.Now()
+			if wall.Before(m.backoffUntil[id]) {
+				continue
+			}
+			// Uptime is measured to the instance's actual death, not to
+			// when the monitor noticed it — detection lags by up to a
+			// tick, which would make an instantly-dying task look
+			// healthy and defeat the backoff ramp.
+			diedAt := wall
+			if exited {
+				diedAt = time.Unix(0, h.exitedAt.Load())
+			}
+			if diedAt.Sub(m.spawnedAt[id]) >= 2*interval {
+				m.backoff[id] = 0
+			} else {
+				next := 2 * m.backoff[id]
+				if next < interval {
+					next = interval
+				}
+				if next > m.RestartBackoffMax {
+					next = m.RestartBackoffMax
+				}
+				m.backoff[id] = next
+				m.backoffUntil[id] = wall.Add(next)
 			}
 			m.restarts[id]++
 			// The stale instance may still be alive (zombie); leave it

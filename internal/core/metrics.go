@@ -39,6 +39,12 @@ type TaskMetrics struct {
 	RecoveredFromCheckpoint atomic.Uint64
 	// RecoveryNanos is the duration of the last recovery (Table 4).
 	RecoveryNanos atomic.Int64
+	// Retries counts log operations re-attempted after a transient
+	// fault (crashed shard, partition, unreachable quorum).
+	Retries atomic.Uint64
+	// CheckpointDecodeFailures counts corrupt marker checkpoints that
+	// forced recovery to fall back to full change-log replay.
+	CheckpointDecodeFailures atomic.Uint64
 }
 
 // QueryMetrics aggregates counters across a query's current tasks.
@@ -46,6 +52,7 @@ type QueryMetrics struct {
 	Processed, Emitted, DroppedUncommitted, DroppedDuplicate uint64
 	Markers, MarkerBytes, MarkerBytesUnshrunk, Appends       uint64
 	CommitStalls, ChangeRecords, RecoveredChanges            uint64
+	Retries, CheckpointDecodeFailures                        uint64
 }
 
 // Add folds one task's metrics into the aggregate.
@@ -61,4 +68,6 @@ func (q *QueryMetrics) Add(m *TaskMetrics) {
 	q.CommitStalls += m.CommitStalls.Load()
 	q.ChangeRecords += m.ChangeRecords.Load()
 	q.RecoveredChanges += m.RecoveredChanges.Load()
+	q.Retries += m.Retries.Load()
+	q.CheckpointDecodeFailures += m.CheckpointDecodeFailures.Load()
 }

@@ -7,6 +7,38 @@ import (
 	"impeller/internal/sharedlog"
 )
 
+// probe invokes the test-only recovery probe, if installed, at a named
+// point inside recovery — chaos tests use it to crash a task while it
+// is mid-recovery deterministically.
+func (t *Task) probe(point string) {
+	if t.env.recoveryProbe != nil {
+		t.env.recoveryProbe(t.ID, point)
+	}
+}
+
+// readPrevRetry and readNextRetry wrap recovery's log reads in the
+// transient-fault retry loop: a recovering task whose shard is briefly
+// down waits it out instead of dying and re-entering recovery.
+func (t *Task) readPrevRetry(ctx context.Context, tag sharedlog.Tag, from LSN) (*sharedlog.Record, error) {
+	var rec *sharedlog.Record
+	err := t.retry.do(ctx, "read-prev "+string(tag), func() error {
+		var e error
+		rec, e = t.log.ReadPrev(tag, from)
+		return e
+	})
+	return rec, err
+}
+
+func (t *Task) readNextRetry(ctx context.Context, tag sharedlog.Tag, from LSN) (*sharedlog.Record, error) {
+	var rec *sharedlog.Record
+	err := t.retry.do(ctx, "read-next "+string(tag), func() error {
+		var e error
+		rec, e = t.log.ReadNext(tag, from)
+		return e
+	})
+	return rec, err
+}
+
 // recover restores a restarted task instance to a consistent point
 // before it processes new input (paper §3.3.2 for stateless stages,
 // §3.3.4 for stateful ones; §3.6/§5.1 for the baseline protocols).
@@ -31,10 +63,11 @@ func (t *Task) recover(ctx context.Context) error {
 // stateful tasks restore state from the latest checkpoint plus a replay
 // of the remaining committed change-log ranges.
 func (t *Task) recoverMarker(ctx context.Context) error {
-	last, err := t.log.ReadPrev(TaskLogTag(t.ID), sharedlog.MaxLSN)
+	last, err := t.readPrevRetry(ctx, TaskLogTag(t.ID), sharedlog.MaxLSN)
 	if err != nil {
 		return err
 	}
+	t.probe("marker")
 	if last == nil {
 		return nil // fresh task: cursor 0, empty state
 	}
@@ -62,18 +95,25 @@ func (t *Task) recoverMarker(ctx context.Context) error {
 	// §3.5 "Accelerating state recovery").
 	var replayFrom LSN // read markers strictly after this LSN
 	if blob, ok := t.env.Checkpoints.Get(MarkerCkptKey(t.ID)); ok {
-		ck, err := decodeMarkerCheckpoint(blob)
-		if err != nil {
-			return err
-		}
-		if ck.CoveredLSN <= last.LSN {
+		switch ck, err := decodeMarkerCheckpoint(blob); {
+		case err != nil:
+			// Corrupt checkpoint bytes: fall back to a full change-log
+			// replay instead of failing recovery permanently — the
+			// change log is the durable source of truth, the snapshot
+			// only an accelerator (paper §3.5).
+			t.Metrics.CheckpointDecodeFailures.Add(1)
+		case ck.CoveredLSN <= last.LSN:
 			if err := t.store.RestoreSnapshot(ck.State); err != nil {
-				return err
+				// Same fallback: RestoreSnapshot is atomic, so the
+				// store is still empty and a full replay is correct.
+				t.Metrics.CheckpointDecodeFailures.Add(1)
+			} else {
+				replayFrom = ck.CoveredLSN + 1
+				t.Metrics.RecoveredFromCheckpoint.Store(1)
 			}
-			replayFrom = ck.CoveredLSN + 1
-			t.Metrics.RecoveredFromCheckpoint.Store(1)
 		}
 	}
+	t.probe("replay")
 	if err := t.replayChangeLog(ctx, replayFrom, last.LSN); err != nil {
 		return err
 	}
@@ -94,7 +134,7 @@ func (t *Task) replayChangeLog(ctx context.Context, from, lastMarker LSN) error 
 			return err
 		}
 		t.heartbeat() // recovery can be long; stay visibly alive
-		rec, err := t.log.ReadNext(taskTag, markerAt)
+		rec, err := t.readNextRetry(ctx, taskTag, markerAt)
 		if err != nil || rec == nil || rec.LSN > lastMarker {
 			return err
 		}
@@ -115,7 +155,7 @@ func (t *Task) replayChangeLog(ctx context.Context, from, lastMarker LSN) error 
 		}
 		pos := m.ChangeFirst
 		for pos <= rec.LSN {
-			crec, err := t.log.ReadNext(changeTag, pos)
+			crec, err := t.readNextRetry(ctx, changeTag, pos)
 			if err != nil {
 				return err
 			}
@@ -162,7 +202,7 @@ func (t *Task) restoreSeqFromStore() {
 // only, resolving them with the commit/abort markers the coordinator
 // appended to the change-log substream.
 func (t *Task) recoverTxn(ctx context.Context) error {
-	if off, err := t.log.ReadPrev(OffsetStreamTag(t.ID), sharedlog.MaxLSN); err != nil {
+	if off, err := t.readPrevRetry(ctx, OffsetStreamTag(t.ID), sharedlog.MaxLSN); err != nil {
 		return err
 	} else if off != nil {
 		b, err := DecodeBatch(off.Payload)
@@ -180,6 +220,7 @@ func (t *Task) recoverTxn(ctx context.Context) error {
 		t.epoch = b.Epoch
 	}
 	t.epoch++ // first transaction of the new instance
+	t.probe("txn")
 
 	if !t.stage.Stateful {
 		return nil
@@ -198,7 +239,7 @@ func (t *Task) recoverTxn(ctx context.Context) error {
 			return err
 		}
 		t.heartbeat()
-		rec, err := t.log.ReadNext(changeTag, pos)
+		rec, err := t.readNextRetry(ctx, changeTag, pos)
 		if err != nil {
 			return err
 		}
@@ -236,6 +277,7 @@ func (t *Task) recoverAligned(_ context.Context) error {
 		return nil
 	}
 	epoch := t.ckpt.LastCompleted()
+	t.probe("aligned")
 	if epoch == 0 {
 		return nil // no completed checkpoint yet: restart from scratch
 	}
@@ -287,7 +329,7 @@ func (t *Task) recoverUnsafe(ctx context.Context) error {
 			return err
 		}
 		t.heartbeat()
-		rec, err := t.log.ReadNext(changeTag, pos)
+		rec, err := t.readNextRetry(ctx, changeTag, pos)
 		if err != nil {
 			return err
 		}

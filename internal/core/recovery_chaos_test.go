@@ -1,0 +1,200 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"impeller/internal/kvstore"
+	"impeller/internal/sharedlog"
+)
+
+// startWordCountProbe is startWordCount with a recovery probe installed
+// before the manager starts: recovery-crash tests use it to kill a task
+// at a deterministic point inside its own recovery.
+func startWordCountProbe(t *testing.T, proto FTProtocol, p1, p2 int, probe func(TaskID, string)) *testCluster {
+	t.Helper()
+	env := &Env{
+		Log:            sharedlog.Open(sharedlog.Config{}),
+		Checkpoints:    kvstore.Open(kvstore.Config{}),
+		Protocol:       proto,
+		CommitInterval: 25 * time.Millisecond,
+	}
+	env.SetRecoveryProbe(probe)
+	q := wordCountQuery(p1, p2, 1)
+	mgr, err := NewManager(env, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := mgr.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c := &testCluster{t: t, env: mgr.Env(), mgr: mgr, cancel: cancel, counts: make(map[string]uint64)}
+
+	if ck := mgr.Ckpt(); ck != nil {
+		ck.AddParticipant("ingress/0")
+	}
+	c.ingress = NewIngress("ingress/0", "lines", p1, mgr.Env(), mgr.Ckpt())
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		_ = c.ingress.Run(ctx, 5*time.Millisecond)
+	}()
+
+	c.sink = NewGatedSink("counts", 1, mgr.Env())
+	c.sink.OnRecord = func(r Record, _ TaskID, _ time.Time) {
+		c.mu.Lock()
+		c.counts[string(r.Key)] = binary.LittleEndian.Uint64(r.Value)
+		c.mu.Unlock()
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		_ = c.sink.Run(ctx)
+	}()
+
+	t.Cleanup(func() {
+		c.cancel()
+		c.mgr.Stop()
+		c.wg.Wait()
+		c.env.Log.Close()
+	})
+	return c
+}
+
+// midRecoveryCrash is the shared scaffold: process a first wave, kill
+// the target task, kill its replacement again at `point` inside its
+// recovery, and assert the third instance converges to exact counts.
+func midRecoveryCrash(t *testing.T, proto FTProtocol, target TaskID, point string) {
+	var (
+		tc     *testCluster
+		armed  atomic.Bool
+		fired  atomic.Bool
+		reKill sync.Once
+	)
+	probe := func(id TaskID, p string) {
+		if !armed.Load() || id != target || p != point {
+			return
+		}
+		reKill.Do(func() {
+			fired.Store(true)
+			_ = tc.mgr.Kill(id)
+		})
+	}
+	tc = startWordCountProbe(t, proto, 2, 2, probe)
+
+	want := sendLoad(tc, 600)
+	tc.waitCounts(want, 30*time.Second)
+	if proto == ProtoAlignedCheckpoint {
+		// Wait for a completed checkpoint so the mid-recovery crash hits
+		// a recovery that actually restores state.
+		deadline := time.Now().Add(10 * time.Second)
+		for tc.mgr.Ckpt().LastCompleted() == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("no aligned checkpoint ever completed")
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	armed.Store(true)
+	if err := tc.mgr.Kill(target); err != nil {
+		t.Fatal(err)
+	}
+	// The replacement enters recovery, the probe kills it at `point`,
+	// and the instance after that must recover to a consistent state.
+	deadline := time.Now().Add(15 * time.Second)
+	for !fired.Load() {
+		if time.Now().After(deadline) {
+			t.Fatalf("recovery probe %q never fired for %s", point, target)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	armed.Store(false) // let the final recovery run to completion
+
+	for k, v := range sendLoad(tc, 600) {
+		want[k] += v
+	}
+	tc.waitCounts(want, 30*time.Second)
+	if r := tc.mgr.Restarts(target); r < 2 {
+		t.Fatalf("restarts = %d, want >= 2 (initial kill + mid-recovery kill)", r)
+	}
+}
+
+func TestCrashDuringMarkerRecovery(t *testing.T) {
+	// "replay" fires after the tail marker is read, before the change
+	// log is replayed — the window where state is partially restored.
+	midRecoveryCrash(t, ProtoProgressMarker, "wc/count/0", "replay")
+}
+
+func TestCrashDuringMarkerRecoveryTailRead(t *testing.T) {
+	midRecoveryCrash(t, ProtoProgressMarker, "wc/count/1", "marker")
+}
+
+func TestCrashDuringTxnRecovery(t *testing.T) {
+	// "txn" fires after the offsets record is read and the epoch bumped,
+	// before the epoch-gated change-log replay.
+	midRecoveryCrash(t, ProtoKafkaTxn, "wc/count/0", "txn")
+}
+
+func TestCrashDuringAlignedRecovery(t *testing.T) {
+	// "aligned" fires after the last completed epoch is resolved, before
+	// the snapshot is loaded.
+	midRecoveryCrash(t, ProtoAlignedCheckpoint, "wc/count/0", "aligned")
+}
+
+// TestZombieFencedAppendRejected is the fencing regression test: a
+// zombified task keeps running after its replacement starts, and its
+// next progress-marker append — conditional on the instance number the
+// replacement already bumped — must be rejected by the log. The
+// rejection is observable as a CondFailed count, and exactly-once
+// output must hold throughout.
+func TestZombieFencedAppendRejected(t *testing.T) {
+	c := startWordCount(t, ProtoProgressMarker, 1, 1)
+	c.mgr.SetTimeouts(100*time.Millisecond, 0)
+
+	want := sendLoad(c, 300)
+	c.waitCounts(want, 30*time.Second)
+	if got := c.env.Log.Stats().CondFailed; got != 0 {
+		t.Fatalf("CondFailed = %d before any zombie existed", got)
+	}
+
+	if err := c.mgr.Zombify("wc/count/0"); err != nil {
+		t.Fatal(err)
+	}
+	// Keep input flowing so both the zombie and its replacement have
+	// activity to commit; the zombie's conditional append must lose.
+	deadline := time.Now().Add(30 * time.Second)
+	i := 0
+	for c.env.Log.Stats().CondFailed == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("zombie marker append was never rejected")
+		}
+		c.ingress.Send([]byte(fmt.Sprint(i)), []byte("fence"), time.Now().UnixMicro())
+		want["fence"]++
+		i++
+		time.Sleep(2 * time.Millisecond)
+	}
+	if c.mgr.Restarts("wc/count/0") == 0 {
+		t.Fatal("zombie was never replaced")
+	}
+
+	// Exactly-once must hold across the fencing: every input counted
+	// once, no duplicate deliveries at the gated sink.
+	for k, v := range sendLoad(c, 300) {
+		want[k] += v
+	}
+	c.waitCounts(want, 30*time.Second)
+	received, dups, _ := c.sink.Counts()
+	if dups != 0 {
+		t.Fatalf("gated sink saw %d duplicate deliveries", dups)
+	}
+	if received == 0 {
+		t.Fatal("gated sink delivered nothing")
+	}
+}

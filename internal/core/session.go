@@ -68,6 +68,11 @@ func decodeSessions(buf []byte) ([]session, error) {
 	}
 	n := int(binary.LittleEndian.Uint32(buf))
 	p := 4
+	// Each session occupies at least 20 bytes; reject corrupt counts
+	// before sizing the slice by an untrusted length prefix.
+	if n > (len(buf)-p)/20 {
+		return nil, ErrBadEncoding
+	}
 	out := make([]session, 0, n)
 	for i := 0; i < n; i++ {
 		if p+20 > len(buf) {

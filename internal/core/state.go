@@ -175,6 +175,12 @@ func (s *StateStore) RestoreSnapshot(buf []byte) error {
 	}
 	n := int(binary.LittleEndian.Uint64(buf))
 	p := 8
+	// Each entry occupies at least 8 bytes (two length prefixes), so a
+	// count beyond that is corrupt — reject it before pre-allocating a
+	// map sized by an untrusted length prefix.
+	if n < 0 || n > (len(buf)-p)/8 {
+		return ErrBadEncoding
+	}
 	data := make(map[string][]byte, n)
 	for i := 0; i < n; i++ {
 		if p+4 > len(buf) {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"impeller/internal/sharedlog"
+	"impeller/internal/sim"
 )
 
 // DefaultFlushBytes is the output buffer size before a forced flush
@@ -77,6 +78,12 @@ type Task struct {
 
 	heartbeat func()
 	Metrics   *TaskMetrics
+
+	// node is the simulated compute node this task runs on; retry
+	// wraps log operations with transient-fault retries on its behalf.
+	node   string
+	retry  *retrier
+	runCtx context.Context
 }
 
 type queuedBatch struct {
@@ -112,6 +119,8 @@ func NewTask(stage *Stage, sub int, instance uint64, env *Env, opts TaskOptions)
 	if t.heartbeat == nil {
 		t.heartbeat = func() {}
 	}
+	t.node = ComputeNode(t.ID)
+	t.retry = newRetrier(env, t.node, t.Metrics)
 	t.store = NewStateStore(t.onStateChange)
 
 	t.inputTags = make([]sharedlog.Tag, 0, len(stage.Inputs))
@@ -255,6 +264,7 @@ func (t *Task) onStateChange(key string, value []byte, deleted bool) {
 // until ctx is cancelled or the instance is fenced. It always returns a
 // non-nil error: ctx.Err() on clean shutdown, ErrZombie when fenced.
 func (t *Task) Run(ctx context.Context) error {
+	t.runCtx = ctx
 	defer t.closeAppenders()
 	recoverStart := time.Now()
 	if err := t.recover(ctx); err != nil {
@@ -272,6 +282,12 @@ func (t *Task) Run(ctx context.Context) error {
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		if t.env.Faults.Crashed(t.node) {
+			// This instance's compute node crashed: everything in
+			// flight is lost. Die; the manager restarts us with backoff
+			// (replacements keep failing until the node recovers).
+			return fmt.Errorf("task %s: %w", t.ID, sim.ErrCrashed)
 		}
 		t.heartbeat()
 
@@ -297,6 +313,15 @@ func (t *Task) Run(ctx context.Context) error {
 				// Our resume point was garbage-collected along with
 				// everything we had consumed; skip to the horizon.
 				t.cursor = t.log.TrimHorizon()
+			case sharedlog.IsRetryable(err):
+				// Transient: a storage shard is down or we are cut off
+				// from the log. Back off briefly and re-poll; the
+				// deadline checks below still run, so commits are not
+				// starved while the fault lasts.
+				t.Metrics.Retries.Add(1)
+				if !t.retry.sleep(ctx, t.retry.backoff(0)) {
+					return ctx.Err()
+				}
 			case err != nil:
 				return fmt.Errorf("task %s: read: %w", t.ID, err)
 			}
@@ -601,7 +626,11 @@ func appenderKey(tags []sharedlog.Tag) string {
 func (t *Task) submitAppend(key string, tags []sharedlog.Tag, payload []byte, onDone func(LSN, error)) {
 	a := t.appenders[key]
 	if a == nil {
-		a = newAppender(t.log, 64)
+		ctx := t.runCtx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		a = newRetryingAppender(t.log, 64, t.retry, ctx)
 		t.appenders[key] = a
 	}
 	t.Metrics.Appends.Add(1)

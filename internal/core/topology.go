@@ -173,7 +173,34 @@ type Env struct {
 	// GC, when set, receives consumed-LSN reports from tasks and
 	// checkpointers and periodically trims the log (paper §3.5).
 	GC *GCController
+	// Faults, if non-nil, lets chaos experiments crash the compute
+	// nodes tasks run on: a task whose node (ComputeNode(id)) is
+	// crashed fails its in-flight log operations until the node
+	// recovers. The shared log consults its own injector for shard and
+	// sequencer faults; this one covers the compute side.
+	Faults *sim.FaultInjector
+	// Retry bounds the transient-fault retry loop around log
+	// operations; the zero value selects the defaults.
+	Retry RetryPolicy
+	// Seed fixes the retry jitter stream (0 selects a fixed default).
+	Seed uint64
+
+	// recoveryProbe, if set, is called at named points inside recovery
+	// ("marker", "replay", "txn", "aligned") so chaos tests can crash a
+	// task mid-recovery deterministically. Test-only.
+	recoveryProbe func(TaskID, string)
 }
+
+// SetRecoveryProbe installs a hook called at named points inside task
+// recovery; chaos tests use it to kill tasks mid-recovery. It must be
+// set before the manager starts.
+func (e *Env) SetRecoveryProbe(fn func(TaskID, string)) { e.recoveryProbe = fn }
+
+// ComputeNode names the simulated compute node a task runs on, for
+// fault injection against Env.Faults. Every instance of a task runs on
+// the same node: crashing the node keeps killing replacements until
+// the node recovers.
+func ComputeNode(id TaskID) string { return "node/" + string(id) }
 
 func (e *Env) withDefaults() *Env {
 	out := *e
@@ -182,6 +209,10 @@ func (e *Env) withDefaults() *Env {
 	}
 	if out.CommitInterval <= 0 {
 		out.CommitInterval = 100 * time.Millisecond
+	}
+	out.Retry = out.Retry.withDefaults()
+	if out.Seed == 0 {
+		out.Seed = 1
 	}
 	return &out
 }

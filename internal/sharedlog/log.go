@@ -98,6 +98,20 @@ var (
 	ErrClosed = errors.New("sharedlog: log closed")
 )
 
+// IsRetryable reports whether err is a transient fault a caller may
+// retry: the crashed node can recover and the partition can heal, so
+// the same operation can succeed later. Fatal outcomes — a fencing
+// conflict (ErrCondFailed), a closed log, a trimmed position — are not
+// retryable: retrying cannot change the answer.
+func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrUnavailable) ||
+		errors.Is(err, sim.ErrCrashed) ||
+		errors.Is(err, sim.ErrPartitioned)
+}
+
 // Config configures a Log. The zero value is usable: one shard,
 // replication 1, immediate ordering, zero latency, real clock.
 type Config struct {
@@ -241,8 +255,10 @@ func (l *Log) Tail() LSN { return l.store.committedTail() }
 func (l *Log) TrimHorizon() LSN { return l.store.trimHorizon() }
 
 // available reports whether a quorum (one live replica) of the record at
-// lsn is reachable. Placement is deterministic, so no shard state is
-// consulted — only the fault injector.
+// lsn is reachable from the client: a replica is unreachable when its
+// shard is crashed or the client↔shard link is partitioned. Placement
+// is deterministic, so no shard state is consulted — only the fault
+// injector.
 func (l *Log) available(lsn LSN) bool {
 	if l.cfg.Faults == nil {
 		return true
@@ -250,9 +266,27 @@ func (l *Log) available(lsn LSN) bool {
 	n := len(l.shards)
 	for r := 0; r < l.cfg.Replication; r++ {
 		s := l.shards[(int(lsn)+r)%n]
-		if !l.cfg.Faults.Crashed(s.name) {
+		if l.cfg.Faults.Check("client", s.name) == nil {
 			return true
 		}
 	}
 	return false
+}
+
+// chargeFaultDelay sleeps for any latency spike injected at the first
+// live replica serving lsn — the replica a read would actually hit.
+func (l *Log) chargeFaultDelay(lsn LSN) {
+	if l.cfg.Faults == nil {
+		return
+	}
+	n := len(l.shards)
+	for r := 0; r < l.cfg.Replication; r++ {
+		s := l.shards[(int(lsn)+r)%n]
+		if l.cfg.Faults.Check("client", s.name) == nil {
+			if d := l.cfg.Faults.DelayOf(s.name); d > 0 {
+				l.cfg.Clock.Sleep(d)
+			}
+			return
+		}
+	}
 }

@@ -44,6 +44,9 @@ func (l *Log) append(tags []Tag, payload []byte, condKey string, condWant uint64
 	if err := l.cfg.Faults.Check("client", "sequencer"); err != nil {
 		return 0, err
 	}
+	if d := l.cfg.Faults.DelayOf("sequencer"); d > 0 {
+		l.cfg.Clock.Sleep(d) // injected latency spike at the sequencer
+	}
 	if m := l.cfg.AppendLatency; m != nil {
 		l.cfg.Clock.Sleep(m.Sample())
 	}

@@ -92,6 +92,7 @@ func (l *Log) resolve(lsn LSN) (*Record, error) {
 	if !l.available(lsn) {
 		return nil, ErrUnavailable
 	}
+	l.chargeFaultDelay(lsn)
 	rec, err := l.store.get(lsn)
 	if err != nil {
 		return nil, errRetryTrimmed
@@ -210,6 +211,7 @@ func (l *Log) ReadPrev(tag Tag, from LSN) (*Record, error) {
 	if !l.available(lsn) {
 		return nil, ErrUnavailable
 	}
+	l.chargeFaultDelay(lsn)
 	rec, err := l.store.get(lsn)
 	if err != nil {
 		return nil, ErrTrimmed
@@ -232,6 +234,7 @@ func (l *Log) Read(lsn LSN) (*Record, error) {
 	if !l.available(lsn) {
 		return nil, ErrUnavailable
 	}
+	l.chargeFaultDelay(lsn)
 	return rec, nil
 }
 

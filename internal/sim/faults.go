@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"sync"
+	"time"
 )
 
 // ErrPartitioned is returned by a network operation crossing a partition.
@@ -18,6 +19,7 @@ type FaultInjector struct {
 	mu         sync.RWMutex
 	crashed    map[string]bool
 	partitions map[[2]string]bool
+	delays     map[string]time.Duration
 }
 
 // NewFaultInjector returns an injector with no active faults.
@@ -25,6 +27,7 @@ func NewFaultInjector() *FaultInjector {
 	return &FaultInjector{
 		crashed:    make(map[string]bool),
 		partitions: make(map[[2]string]bool),
+		delays:     make(map[string]time.Duration),
 	}
 }
 
@@ -88,6 +91,55 @@ func (f *FaultInjector) Check(a, b string) error {
 		return ErrPartitioned
 	}
 	return nil
+}
+
+// SetDelay injects a latency spike: operations served by node are
+// charged an extra d on top of the configured latency model until
+// ClearDelay. Used by chaos schedules to model slow disks and links.
+func (f *FaultInjector) SetDelay(node string, d time.Duration) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.delays == nil {
+		f.delays = make(map[string]time.Duration)
+	}
+	f.delays[node] = d
+}
+
+// ClearDelay removes a latency spike from node.
+func (f *FaultInjector) ClearDelay(node string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.delays, node)
+}
+
+// DelayOf returns the extra latency currently injected at node (zero
+// when none). A nil injector injects nothing.
+func (f *FaultInjector) DelayOf(node string) time.Duration {
+	if f == nil {
+		return 0
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.delays[node]
+}
+
+// Reset clears every active fault: crashes, partitions, and delays.
+// Chaos runs call it after the fault window so the system can converge.
+func (f *FaultInjector) Reset() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = make(map[string]bool)
+	f.partitions = make(map[[2]string]bool)
+	f.delays = make(map[string]time.Duration)
 }
 
 func pairKey(a, b string) [2]string {

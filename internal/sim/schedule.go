@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// FaultOp is the kind of one scheduled fault event.
+type FaultOp int
+
+const (
+	// OpCrash / OpRecover fail and restore a named node.
+	OpCrash FaultOp = iota
+	OpRecover
+	// OpPartition / OpHeal sever and restore a link between two nodes.
+	OpPartition
+	OpHeal
+	// OpSlow / OpFast inject and clear a latency spike at a node.
+	OpSlow
+	OpFast
+)
+
+func (op FaultOp) String() string {
+	switch op {
+	case OpCrash:
+		return "crash"
+	case OpRecover:
+		return "recover"
+	case OpPartition:
+		return "partition"
+	case OpHeal:
+		return "heal"
+	case OpSlow:
+		return "slow"
+	case OpFast:
+		return "fast"
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// FaultEvent is one scheduled fault action at offset At from the start
+// of the run. B is set only for partition/heal; Delay only for slow.
+type FaultEvent struct {
+	At    time.Duration
+	Op    FaultOp
+	A, B  string
+	Delay time.Duration
+}
+
+func (e FaultEvent) String() string {
+	switch e.Op {
+	case OpPartition, OpHeal:
+		return fmt.Sprintf("%8v %s %s<->%s", e.At, e.Op, e.A, e.B)
+	case OpSlow:
+		return fmt.Sprintf("%8v %s %s +%v", e.At, e.Op, e.A, e.Delay)
+	default:
+		return fmt.Sprintf("%8v %s %s", e.At, e.Op, e.A)
+	}
+}
+
+// FaultSchedule is a deterministic sequence of fault events sorted by
+// At. The same (seed, config) pair always generates the same schedule.
+type FaultSchedule struct {
+	Seed   uint64
+	Events []FaultEvent
+	// Faults counts injected faults (crash/partition/slow); recovery
+	// events are not faults.
+	Faults int
+}
+
+// ScheduleConfig bounds what GenFaultSchedule may break.
+type ScheduleConfig struct {
+	// Duration is the fault window; every fault starts inside it (its
+	// recovery may land shortly after).
+	Duration time.Duration
+	// Crashable are nodes eligible for crash/recover events.
+	Crashable []string
+	// Pairs are links eligible for partition/heal events.
+	Pairs [][2]string
+	// Slowable are nodes eligible for latency spikes.
+	Slowable []string
+	// Faults is the number of faults to inject (default 8).
+	Faults int
+	// MinOutage/MaxOutage bound how long each fault stays active
+	// (defaults 20ms / 150ms).
+	MinOutage time.Duration
+	MaxOutage time.Duration
+	// MaxDown caps how many Crashable nodes may be down at once — with
+	// replication r over n shards, n-r concurrent crashes keep every
+	// LSN readable (default 1).
+	MaxDown int
+	// MaxDelay bounds injected latency spikes (default 3ms).
+	MaxDelay time.Duration
+}
+
+func (c ScheduleConfig) withDefaults() ScheduleConfig {
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.Faults <= 0 {
+		c.Faults = 8
+	}
+	if c.MinOutage <= 0 {
+		c.MinOutage = 20 * time.Millisecond
+	}
+	if c.MaxOutage <= c.MinOutage {
+		c.MaxOutage = c.MinOutage + 130*time.Millisecond
+	}
+	if c.MaxDown <= 0 {
+		c.MaxDown = 1
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 3 * time.Millisecond
+	}
+	return c
+}
+
+// interval is an active [start, end) fault window during generation.
+type interval struct {
+	start, end time.Duration
+	key        string
+}
+
+func overlaps(list []interval, start, end time.Duration, key string) (same bool, others int) {
+	for _, iv := range list {
+		if start < iv.end && iv.start < end {
+			if iv.key == key {
+				same = true
+			} else {
+				others++
+			}
+		}
+	}
+	return
+}
+
+// GenFaultSchedule deterministically generates a fault schedule from
+// seed. Every fault is paired with its recovery: a crash with a
+// recover, a partition with a heal, a spike with a clearing — so
+// after the last event the system is fault-free. Concurrent crashes
+// are capped at MaxDown and no fault overlaps another on the same
+// target (a shared recover would otherwise clear the wrong fault).
+func GenFaultSchedule(seed uint64, cfg ScheduleConfig) FaultSchedule {
+	cfg = cfg.withDefaults()
+	rng := NewRand(seed)
+	var kinds []FaultOp
+	if len(cfg.Crashable) > 0 {
+		kinds = append(kinds, OpCrash)
+	}
+	if len(cfg.Pairs) > 0 {
+		kinds = append(kinds, OpPartition)
+	}
+	if len(cfg.Slowable) > 0 {
+		kinds = append(kinds, OpSlow)
+	}
+	sched := FaultSchedule{Seed: seed}
+	if len(kinds) == 0 {
+		return sched
+	}
+	var crashes, other []interval
+	rnd := func(d time.Duration) time.Duration { return time.Duration(rng.Int63() % int64(d)) }
+	for placed := 0; placed < cfg.Faults; {
+		// Rejection-sample a non-overlapping slot; the window is long
+		// relative to outages, so a bounded number of tries suffices.
+		ok := false
+		for try := 0; try < 64 && !ok; try++ {
+			kind := kinds[rng.Intn(len(kinds))]
+			start := rnd(cfg.Duration)
+			end := start + cfg.MinOutage + rnd(cfg.MaxOutage-cfg.MinOutage)
+			switch kind {
+			case OpCrash:
+				node := cfg.Crashable[rng.Intn(len(cfg.Crashable))]
+				same, down := overlaps(crashes, start, end, node)
+				if same || down >= cfg.MaxDown {
+					continue
+				}
+				crashes = append(crashes, interval{start, end, node})
+				sched.Events = append(sched.Events,
+					FaultEvent{At: start, Op: OpCrash, A: node},
+					FaultEvent{At: end, Op: OpRecover, A: node})
+			case OpPartition:
+				pair := cfg.Pairs[rng.Intn(len(cfg.Pairs))]
+				key := "p:" + pair[0] + "|" + pair[1]
+				if same, _ := overlaps(other, start, end, key); same {
+					continue
+				}
+				other = append(other, interval{start, end, key})
+				sched.Events = append(sched.Events,
+					FaultEvent{At: start, Op: OpPartition, A: pair[0], B: pair[1]},
+					FaultEvent{At: end, Op: OpHeal, A: pair[0], B: pair[1]})
+			case OpSlow:
+				node := cfg.Slowable[rng.Intn(len(cfg.Slowable))]
+				key := "s:" + node
+				if same, _ := overlaps(other, start, end, key); same {
+					continue
+				}
+				other = append(other, interval{start, end, key})
+				delay := time.Duration(1 + rng.Int63()%int64(cfg.MaxDelay)) // >= 1ns
+				sched.Events = append(sched.Events,
+					FaultEvent{At: start, Op: OpSlow, A: node, Delay: delay},
+					FaultEvent{At: end, Op: OpFast, A: node})
+			}
+			ok = true
+		}
+		if !ok {
+			break // window saturated; return what fits
+		}
+		placed++
+		sched.Faults++
+	}
+	sort.SliceStable(sched.Events, func(i, j int) bool {
+		return sched.Events[i].At < sched.Events[j].At
+	})
+	return sched
+}
+
+// Apply performs one event against the injector.
+func (e FaultEvent) Apply(f *FaultInjector) {
+	switch e.Op {
+	case OpCrash:
+		f.Crash(e.A)
+	case OpRecover:
+		f.Recover(e.A)
+	case OpPartition:
+		f.Partition(e.A, e.B)
+	case OpHeal:
+		f.Heal(e.A, e.B)
+	case OpSlow:
+		f.SetDelay(e.A, e.Delay)
+	case OpFast:
+		f.ClearDelay(e.A)
+	}
+}
+
+// Play applies the schedule against f in real (clock) time, treating
+// the call instant as offset zero. It returns when the last event has
+// been applied or ctx is cancelled; on cancellation the remaining
+// recovery events are applied immediately so no fault leaks past the
+// run.
+func (s FaultSchedule) Play(ctx context.Context, clock Clock, f *FaultInjector) {
+	if clock == nil {
+		clock = RealClock{}
+	}
+	start := clock.Now()
+	for i, ev := range s.Events {
+		wait := ev.At - clock.Now().Sub(start)
+		if wait > 0 {
+			select {
+			case <-ctx.Done():
+				for _, rest := range s.Events[i:] {
+					switch rest.Op {
+					case OpRecover, OpHeal, OpFast:
+						rest.Apply(f)
+					}
+				}
+				return
+			case <-clock.After(wait):
+			}
+		}
+		ev.Apply(f)
+	}
+}

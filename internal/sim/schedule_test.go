@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func chaosScheduleConfig() ScheduleConfig {
+	return ScheduleConfig{
+		Duration:  time.Second,
+		Crashable: []string{"shard/0", "shard/1", "shard/2", "shard/3"},
+		Pairs:     [][2]string{{"client", "sequencer"}, {"client", "shard/0"}},
+		Slowable:  []string{"shard/1", "sequencer"},
+		Faults:    12,
+		MaxDown:   2,
+	}
+}
+
+func TestGenFaultScheduleDeterministic(t *testing.T) {
+	cfg := chaosScheduleConfig()
+	a := GenFaultSchedule(7, cfg)
+	b := GenFaultSchedule(7, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different schedules:\n%v\n%v", a.Events, b.Events)
+	}
+	c := GenFaultSchedule(8, cfg)
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if a.Faults != cfg.Faults {
+		t.Fatalf("placed %d faults, want %d", a.Faults, cfg.Faults)
+	}
+}
+
+// TestGenFaultSchedulePaired asserts every fault is paired with its
+// recovery, concurrent crashes stay within MaxDown, and replaying the
+// whole schedule leaves the injector fault-free.
+func TestGenFaultSchedulePaired(t *testing.T) {
+	cfg := chaosScheduleConfig()
+	for seed := uint64(1); seed <= 20; seed++ {
+		sched := GenFaultSchedule(seed, cfg)
+		f := NewFaultInjector()
+		down := 0
+		for _, ev := range sched.Events {
+			switch ev.Op {
+			case OpCrash:
+				if f.Crashed(ev.A) {
+					t.Fatalf("seed %d: double crash of %s", seed, ev.A)
+				}
+				down++
+				if down > cfg.MaxDown {
+					t.Fatalf("seed %d: %d concurrent crashes > MaxDown %d", seed, down, cfg.MaxDown)
+				}
+			case OpRecover:
+				if !f.Crashed(ev.A) {
+					t.Fatalf("seed %d: recover of live node %s", seed, ev.A)
+				}
+				down--
+			case OpSlow:
+				if ev.Delay <= 0 {
+					t.Fatalf("seed %d: slow event without delay", seed)
+				}
+			}
+			ev.Apply(f)
+		}
+		for _, n := range cfg.Crashable {
+			if f.Crashed(n) {
+				t.Fatalf("seed %d: %s still crashed after full schedule", seed, n)
+			}
+		}
+		for _, p := range cfg.Pairs {
+			if err := f.Check(p[0], p[1]); err != nil {
+				t.Fatalf("seed %d: link %v still faulted: %v", seed, p, err)
+			}
+		}
+		for _, n := range cfg.Slowable {
+			if d := f.DelayOf(n); d != 0 {
+				t.Fatalf("seed %d: %s still slow (%v) after full schedule", seed, n, d)
+			}
+		}
+	}
+}
+
+func TestFaultInjectorDelaysAndReset(t *testing.T) {
+	var nilInj *FaultInjector
+	nilInj.SetDelay("x", time.Millisecond) // must not panic
+	if d := nilInj.DelayOf("x"); d != 0 {
+		t.Fatalf("nil injector reported delay %v", d)
+	}
+	nilInj.Reset()
+
+	f := NewFaultInjector()
+	f.SetDelay("shard/0", 2*time.Millisecond)
+	if d := f.DelayOf("shard/0"); d != 2*time.Millisecond {
+		t.Fatalf("DelayOf = %v, want 2ms", d)
+	}
+	f.ClearDelay("shard/0")
+	if d := f.DelayOf("shard/0"); d != 0 {
+		t.Fatalf("DelayOf after clear = %v", d)
+	}
+	f.Crash("a")
+	f.Partition("b", "c")
+	f.SetDelay("d", time.Millisecond)
+	f.Reset()
+	if f.Crashed("a") || f.Check("b", "c") != nil || f.DelayOf("d") != 0 {
+		t.Fatal("Reset left faults active")
+	}
+}
