@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench chaos
+.PHONY: check build vet fmt test race bench bench-compare chaos
 
 # check is the full gate: build, vet, formatting, unit tests, the
 # race-detector run over the packages with real concurrency, and the
@@ -37,3 +37,12 @@ chaos:
 # bench runs the sharedlog micro-benchmarks (no -race; see results/).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/sharedlog/
+
+# bench-compare reruns the sharedlog benchmarks and prints per-benchmark
+# deltas against the committed baseline (results/bench_baseline.txt).
+# Refresh the baseline by redirecting `make bench` output there on a
+# quiet machine.
+bench-compare:
+	@$(GO) test -run '^$$' -bench . -benchmem ./internal/sharedlog/ > /tmp/bench_current.txt || \
+		{ cat /tmp/bench_current.txt; exit 1; }
+	@$(GO) run ./cmd/benchdelta results/bench_baseline.txt /tmp/bench_current.txt

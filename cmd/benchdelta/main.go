@@ -1,0 +1,154 @@
+// Command benchdelta compares two `go test -bench` outputs and prints
+// the per-benchmark deltas:
+//
+//	go test -run '^$' -bench . -benchmem ./internal/sharedlog/ > new.txt
+//	benchdelta results/bench_baseline.txt new.txt
+//
+// It matches benchmarks by name (GOMAXPROCS suffix stripped) and
+// compares every metric a line carries — ns/op, B/op, allocs/op, and
+// custom ReportMetric units like ns/record. `make bench-compare` wires
+// this against the committed baseline so a dataplane regression shows
+// up as a red delta in review rather than silently in results/.
+//
+// Exit status is 0 even when benchmarks regress: timings on a shared
+// box are advisory, the gate for hard budgets is the AllocsPerRun tests.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metrics maps unit → value for one benchmark line.
+type metrics map[string]float64
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdelta OLD NEW")
+		os.Exit(2)
+	}
+	oldSet, err := parseFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdelta:", err)
+		os.Exit(1)
+	}
+	newSet, err := parseFile(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdelta:", err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(newSet))
+	for name := range newSet {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-52s %-12s %12s %12s %9s\n", "benchmark", "unit", "old", "new", "delta")
+	for _, name := range names {
+		o, ok := oldSet[name]
+		if !ok {
+			fmt.Printf("%-52s (new benchmark, no baseline)\n", name)
+			continue
+		}
+		units := make([]string, 0, len(newSet[name]))
+		for u := range newSet[name] {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			nv := newSet[name][unit]
+			ov, ok := o[unit]
+			if !ok {
+				continue
+			}
+			fmt.Printf("%-52s %-12s %12.1f %12.1f %9s\n", name, unit, ov, nv, delta(ov, nv))
+		}
+	}
+	for name := range oldSet {
+		if _, ok := newSet[name]; !ok {
+			fmt.Printf("%-52s (removed; present only in baseline)\n", name)
+		}
+	}
+}
+
+// delta formats the relative change; lower is better for every unit the
+// bench suite reports (times, bytes, allocations).
+func delta(old, new float64) string {
+	if old == 0 {
+		if new == 0 {
+			return "0.0%"
+		}
+		return "+inf"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
+}
+
+// parseFile reads benchmark result lines from a `go test -bench` output
+// file. Non-benchmark lines (headers, PASS, ok) are skipped.
+func parseFile(path string) (map[string]metrics, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := make(map[string]metrics)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		name, m, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if prev, dup := out[name]; dup {
+			// Repeated runs (e.g. -count): keep the best (minimum) per
+			// unit, the conventional way to denoise benchmark output.
+			for u, v := range m {
+				if old, ok := prev[u]; !ok || v < old {
+					prev[u] = v
+				}
+			}
+			continue
+		}
+		out[name] = m
+	}
+	return out, sc.Err()
+}
+
+// parseLine parses one result line of the form
+//
+//	BenchmarkName-4  12345  678.9 ns/op  10 B/op  2 allocs/op
+//
+// returning the name with the -GOMAXPROCS suffix stripped and every
+// value/unit pair after the iteration count.
+func parseLine(line string) (string, metrics, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", nil, false // iteration count must be integral
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	m := make(metrics)
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		m[fields[i+1]] = v
+	}
+	if len(m) == 0 {
+		return "", nil, false
+	}
+	return name, m, true
+}

@@ -9,6 +9,7 @@
 //	impeller-bench -exp table4                 # failure recovery
 //	impeller-bench -exp crossover -duration 20s  # checkpointing vs state growth
 //	impeller-bench -exp chaos                  # exactly-once under fault schedules
+//	impeller-bench -exp batching -query 1      # batched dataplane ablation
 //
 // Absolute numbers depend on the host and the latency calibration; the
 // shapes (who wins, where curves cross) are the reproduction target.
@@ -28,7 +29,8 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment: table2 | fig7 | fig8 | fig9 | table4 | crossover | chaos")
+		exp      = flag.String("exp", "", "experiment: table2 | fig7 | fig8 | fig9 | table4 | crossover | chaos | batching")
+		rate     = flag.Int("rate", 0, "offered event rate for single-rate experiments (batching); 0 = per-query default")
 		query    = flag.Int("query", 0, "NEXMark query (fig7/fig8); 0 = all")
 		rates    = flag.String("rates", "", "comma-separated event rates (events/s)")
 		duration = flag.Duration("duration", 3*time.Second, "measurement duration per point")
@@ -71,6 +73,8 @@ func main() {
 		err = runCrossover(*query, *duration, *simulate, *scale, progress())
 	case "chaos":
 		err = runChaos(*query, progress())
+	case "batching":
+		err = runBatching(*query, *rate, *duration, *simulate, *scale, progress())
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -203,6 +207,24 @@ func runTable4(rates []int, simulate bool, scale float64, progress *os.File) err
 	bench.PrintTable4(os.Stdout, rows)
 	if csvOut != nil {
 		return bench.WriteTable4CSV(csvOut, rows)
+	}
+	return nil
+}
+
+func runBatching(query, rate int, duration time.Duration, simulate bool, scale float64, progress *os.File) error {
+	res, err := bench.RunBatchingAblation(bench.BatchingConfig{
+		Query:    query,
+		Rate:     rate,
+		Duration: duration,
+		Simulate: simulate,
+		Scale:    scale,
+	}, progress)
+	if err != nil {
+		return err
+	}
+	bench.PrintBatching(os.Stdout, res)
+	if csvOut != nil {
+		return bench.WriteBatchingCSV(csvOut, res)
 	}
 	return nil
 }

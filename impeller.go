@@ -160,6 +160,18 @@ type ClusterConfig struct {
 	// function-node storage cache, paper §5.3). 0 uses 8192 entries;
 	// negative disables caching.
 	LogCacheSize int
+	// BatchMaxRecords, BatchMaxBytes, BatchLinger, and BatchWindow tune
+	// the batched dataplane: task appenders coalesce data, change-log,
+	// and control-adjacent appends into group commits sealed at
+	// BatchMaxRecords records or BatchMaxBytes bytes (whichever first),
+	// after BatchLinger of quiet, with at most BatchWindow sealed batches
+	// in flight before submitters block (backpressure). Zero values
+	// select the defaults (64 records, 256 KiB, 1 ms, 4 batches).
+	// BatchMaxRecords: 1 disables coalescing — the unbatched ablation.
+	BatchMaxRecords int
+	BatchMaxBytes   int
+	BatchLinger     time.Duration
+	BatchWindow     int
 }
 
 // Cluster is an in-process Impeller deployment: a shared log, a
@@ -243,6 +255,12 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		CoordinatorLatency: coordLat,
 		Faults:             faults,
 		Seed:               cfg.Seed,
+		Batch: core.BatchConfig{
+			MaxRecords: cfg.BatchMaxRecords,
+			MaxBytes:   cfg.BatchMaxBytes,
+			Linger:     cfg.BatchLinger,
+			Window:     cfg.BatchWindow,
+		},
 	}
 	if cfg.EnableGC {
 		c.env.GC = core.NewGCController(c.log)

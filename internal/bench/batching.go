@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"impeller"
+)
+
+// Batching ablation: the same NEXMark query, same offered load, with
+// the batched dataplane on (group-commit appenders at the engine
+// defaults) and off (MaxRecords 1, Window 1 — every append is its own
+// log operation, the dataplane as it was before group commit). The
+// paper's throughput argument (§5.3) is that a task's outputs,
+// change-log deltas, and markers all share one log, so amortizing the
+// per-append cost moves the saturation point; this experiment measures
+// exactly that movement.
+
+// BatchingConfig configures the ablation.
+type BatchingConfig struct {
+	// Query selects the NEXMark query (default 1 — the append-heavy
+	// stateless pipeline where the dataplane dominates).
+	Query int
+	// Rate is the offered load in events/s; it should sit above the
+	// unbatched configuration's saturation point so the gap is visible
+	// (default 32000 for Q1–Q2, 12000 otherwise).
+	Rate int
+	// Duration per run (default 3 s).
+	Duration time.Duration
+	// Parallelism and Generators override the driver defaults (2 and 4)
+	// — raise both on many-core hosts so the generators do not bound the
+	// measurement before the dataplane does.
+	Parallelism int
+	Generators  int
+	// Simulate charges calibrated log/coordinator latencies; the
+	// ablation is only meaningful with it on (default on in the CLI).
+	Simulate bool
+	// Scale scales simulated latencies.
+	Scale float64
+}
+
+func (c BatchingConfig) withDefaults() BatchingConfig {
+	if c.Query == 0 {
+		c.Query = 1
+	}
+	if c.Rate == 0 {
+		if c.Query <= 2 {
+			c.Rate = 32000
+		} else {
+			c.Rate = 12000
+		}
+	}
+	if c.Duration <= 0 {
+		c.Duration = 3 * time.Second
+	}
+	return c
+}
+
+// BatchingResult holds the paired runs.
+type BatchingResult struct {
+	Query, Rate        int
+	Unbatched, Batched *RunResult
+}
+
+// Goodput is a run's received events per second of wall time.
+func goodput(r *RunResult) float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Received) / r.Elapsed.Seconds()
+}
+
+// Speedup is batched goodput over unbatched goodput.
+func (r *BatchingResult) Speedup() float64 {
+	u := goodput(r.Unbatched)
+	if u == 0 {
+		return 0
+	}
+	return goodput(r.Batched) / u
+}
+
+// RunBatchingAblation measures the same query with and without the
+// batched dataplane.
+func RunBatchingAblation(cfg BatchingConfig, progress io.Writer) (*BatchingResult, error) {
+	cfg = cfg.withDefaults()
+	base := RunConfig{
+		Query:           cfg.Query,
+		Protocol:        impeller.ProgressMarker,
+		Rate:            cfg.Rate,
+		Duration:        cfg.Duration,
+		SimulateLatency: cfg.Simulate,
+		LatencyScale:    cfg.Scale,
+		Parallelism:     cfg.Parallelism,
+		Generators:      cfg.Generators,
+	}
+
+	unb := base
+	unb.BatchMaxRecords = 1
+	unb.BatchWindow = 1
+	unbatched, err := RunNexmark(unb)
+	if err != nil {
+		return nil, err
+	}
+	if progress != nil {
+		fmt.Fprintf(progress, "  unbatched %s\n", unbatched)
+	}
+
+	batched, err := RunNexmark(base)
+	if err != nil {
+		return nil, err
+	}
+	if progress != nil {
+		fmt.Fprintf(progress, "  batched   %s\n", batched)
+	}
+
+	return &BatchingResult{Query: cfg.Query, Rate: cfg.Rate, Unbatched: unbatched, Batched: batched}, nil
+}
+
+// PrintBatching renders the ablation.
+func PrintBatching(w io.Writer, r *BatchingResult) {
+	fmt.Fprintf(w, "Batching ablation: NEXMark Q%d at %d offered events/s (progress-marker protocol)\n", r.Query, r.Rate)
+	fmt.Fprintf(w, "%-12s %-12s %-12s %-12s %-12s %-14s %-12s\n",
+		"dataplane", "recv eps", "p50", "p99", "log appends", "append batches", "mean batch")
+	for _, row := range []struct {
+		name string
+		res  *RunResult
+	}{{"unbatched", r.Unbatched}, {"batched", r.Batched}} {
+		ls := row.res.Log
+		fmt.Fprintf(w, "%-12s %-12.0f %-12v %-12v %-12d %-14d %-12.1f\n",
+			row.name, goodput(row.res),
+			row.res.P50.Round(100*time.Microsecond), row.res.P99.Round(100*time.Microsecond),
+			ls.Appends, ls.BatchAppends, ls.MeanAppendBatch)
+	}
+	m := r.Batched.Metrics
+	fmt.Fprintf(w, "batched tasks: %d group commits carrying %d appends (%.1f/commit), %d stalls (backpressure)\n",
+		m.AppendBatches, m.BatchedRecords, meanBatch(m.BatchedRecords, m.AppendBatches), m.BatchStalls)
+	fmt.Fprintf(w, "goodput speedup (batched/unbatched): %.2fx\n", r.Speedup())
+}
+
+func meanBatch(records, batches uint64) float64 {
+	if batches == 0 {
+		return 0
+	}
+	return float64(records) / float64(batches)
+}
+
+// WriteBatchingCSV exports the paired runs, one row per dataplane mode.
+func WriteBatchingCSV(w io.Writer, r *BatchingResult) error {
+	rows := make([][]string, 0, 2)
+	for _, row := range []struct {
+		name string
+		res  *RunResult
+	}{{"unbatched", r.Unbatched}, {"batched", r.Batched}} {
+		rows = append(rows, []string{
+			strconv.Itoa(r.Query),
+			row.name,
+			strconv.Itoa(r.Rate),
+			fmt.Sprintf("%.0f", goodput(row.res)),
+			us(row.res.P50), us(row.res.P99),
+			strconv.FormatUint(row.res.Received, 10),
+			strconv.FormatUint(row.res.Log.Appends, 10),
+			strconv.FormatUint(row.res.Log.BatchAppends, 10),
+			fmt.Sprintf("%.2f", row.res.Log.MeanAppendBatch),
+			strconv.FormatUint(row.res.Metrics.AppendBatches, 10),
+			strconv.FormatUint(row.res.Metrics.BatchedRecords, 10),
+			strconv.FormatUint(row.res.Metrics.BatchStalls, 10),
+		})
+	}
+	return writeCSV(w,
+		[]string{"query", "dataplane", "rate_eps", "goodput_eps", "p50_us", "p99_us", "received",
+			"log_appends", "log_batch_appends", "mean_append_batch",
+			"task_append_batches", "task_batched_records", "task_batch_stalls"},
+		rows)
+}

@@ -68,13 +68,17 @@ func WriteFig7CSV(w io.Writer, series []*Fig7Series) error {
 				fmt.Sprintf("%.2f", p.Log.MeanCutBatch),
 				strconv.FormatUint(p.Log.ReaderWakeups, 10),
 				strconv.FormatUint(p.Log.UsefulWakeups, 10),
+				strconv.FormatUint(p.Log.BatchAppends, 10),
+				fmt.Sprintf("%.2f", p.Log.MeanAppendBatch),
+				strconv.FormatUint(p.Metrics.BatchStalls, 10),
 			})
 		}
 	}
 	return writeCSV(w,
 		[]string{"query", "protocol", "rate_eps", "p50_us", "p99_us", "mean_us", "sent", "received",
 			"log_appends", "log_reads", "cache_hits", "cache_misses",
-			"seq_cuts", "mean_cut_batch", "wakeups", "useful_wakeups"},
+			"seq_cuts", "mean_cut_batch", "wakeups", "useful_wakeups",
+			"batch_appends", "mean_append_batch", "batch_stalls"},
 		out)
 }
 

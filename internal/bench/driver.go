@@ -42,6 +42,13 @@ type RunConfig struct {
 	LatencyScale float64
 	// Seed fixes the generator and latency randomness.
 	Seed uint64
+	// BatchMaxRecords, BatchMaxBytes, BatchLinger, and BatchWindow tune
+	// the batched dataplane; zero values select the engine defaults.
+	// BatchMaxRecords: 1 disables coalescing (the ablation baseline).
+	BatchMaxRecords int
+	BatchMaxBytes   int
+	BatchLinger     time.Duration
+	BatchWindow     int
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -112,6 +119,10 @@ func RunNexmark(cfg RunConfig) (*RunResult, error) {
 		SimulateLatency:      cfg.SimulateLatency,
 		LatencyScale:         cfg.LatencyScale,
 		Seed:                 cfg.Seed,
+		BatchMaxRecords:      cfg.BatchMaxRecords,
+		BatchMaxBytes:        cfg.BatchMaxBytes,
+		BatchLinger:          cfg.BatchLinger,
+		BatchWindow:          cfg.BatchWindow,
 	})
 	defer cluster.Close()
 

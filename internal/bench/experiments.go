@@ -114,11 +114,12 @@ func PrintFig7(w io.Writer, series []*Fig7Series) {
 		fmt.Fprintf(w, "%-20s saturation throughput: %d events/s\n", s.Protocol, s.SaturationRate)
 		if n := len(s.Points); n > 0 {
 			ls := s.Points[n-1].Log
-			fmt.Fprintf(w, "%-20s log @%d eps: appends=%d reads=%d cache=%s cuts=%d (mean batch %.1f) wakeups=%d useful=%d\n",
+			fmt.Fprintf(w, "%-20s log @%d eps: appends=%d reads=%d cache=%s cuts=%d (mean batch %.1f) wakeups=%d useful=%d group-commits=%d (mean %.1f)\n",
 				s.Protocol, s.Points[n-1].Config.Rate,
 				ls.Appends, ls.ReadNext+ls.ReadNextAny+ls.ReadExact+ls.ReadPrev,
 				cacheHitRate(ls), ls.SequencerCuts, ls.MeanCutBatch,
-				ls.ReaderWakeups, ls.UsefulWakeups)
+				ls.ReaderWakeups, ls.UsefulWakeups,
+				ls.BatchAppends, ls.MeanAppendBatch)
 		}
 	}
 }

@@ -54,16 +54,9 @@ func (t *Task) commitMarker(ctx context.Context) error {
 	}
 	t.progressMu.Unlock()
 
-	// Tag the marker for every downstream substream, the task log, and
-	// (for stateful tasks) the change log (paper Figure 6).
-	tags := make([]sharedlog.Tag, 0, 8)
-	for _, out := range t.stage.Outputs {
-		tags = append(tags, out.Tags()...)
-	}
-	tags = append(tags, TaskLogTag(t.ID))
-	if t.stage.Stateful {
-		tags = append(tags, ChangeLogTag(t.ID))
-	}
+	// The marker's tag set (every downstream substream, the task log,
+	// the change log) is precomputed at construction: t.markerTags.
+	t.assertAppendsDrained("progress marker")
 
 	payload := (&Batch{
 		Kind:     KindMarker,
@@ -82,7 +75,7 @@ func (t *Task) commitMarker(ctx context.Context) error {
 	var markerLSN LSN
 	err := t.retry.do(ctx, "marker append", func() error {
 		var e error
-		markerLSN, e = t.log.ConditionalAppend(tags, payload, InstanceKey(t.ID), t.Instance)
+		markerLSN, e = t.log.ConditionalAppend(t.markerTags, payload, InstanceKey(t.ID), t.Instance)
 		return e
 	})
 	if errors.Is(err, sharedlog.ErrCondFailed) {
@@ -183,6 +176,7 @@ func (t *Task) commitTxn(ctx context.Context) error {
 	}
 	offsets := &ProgressMarker{InputEnd: t.inputEnd(), SeqEnd: t.outSeq}
 
+	t.assertAppendsDrained("transaction prepare")
 	done, err := t.txn.Prepare(t.ID, t.Instance, t.epoch, touched, offsets)
 	if err != nil {
 		if errors.Is(err, ErrZombie) {

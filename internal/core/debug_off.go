@@ -1,0 +1,7 @@
+//go:build !impellerdebug
+
+package core
+
+// debugChecks gates the expensive invariant assertions; build with
+// -tags impellerdebug to turn marker-ordering violations into panics.
+const debugChecks = false

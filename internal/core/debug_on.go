@@ -1,0 +1,7 @@
+//go:build impellerdebug
+
+package core
+
+// debugChecks gates the expensive invariant assertions; this build has
+// them on, and a marker-ordering violation panics.
+const debugChecks = true

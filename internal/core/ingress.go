@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"impeller/internal/sharedlog"
+	"impeller/internal/wire"
 )
 
 // Ingress materializes external input records as shared-log entries
@@ -28,6 +29,11 @@ type Ingress struct {
 	ckpt       *CkptCoordinator
 	retry      *retrier
 
+	// batched selects the AppendBatch flush path (one group commit per
+	// flush instead of one concurrent append per substream); set from
+	// Env.Batch at construction, off when MaxRecords is pinned to 1.
+	batched bool
+
 	mu   sync.Mutex
 	bufs []*batchBuf
 	seq  uint64
@@ -43,8 +49,9 @@ func NewIngress(id TaskID, stream StreamID, partitions int, env *Env, ckpt *Ckpt
 	}
 	return &Ingress{
 		ID: id, stream: stream, partitions: partitions, env: env, ckpt: ckpt,
-		bufs:  bufs,
-		retry: newRetrier(env, ComputeNode(id), nil),
+		bufs:    bufs,
+		batched: env.Batch.withDefaults().MaxRecords > 1,
+		retry:   newRetrier(env, ComputeNode(id), nil),
 	}
 }
 
@@ -65,60 +72,38 @@ func (g *Ingress) Sent() uint64 {
 	return g.sent
 }
 
-// Flush appends all buffered batches (one append per non-empty
-// substream, issued concurrently) and, under aligned checkpoints,
-// injects a barrier when the coordinator has started a new checkpoint.
+// Flush appends all buffered batches — one AppendBatch group commit
+// covering every non-empty substream when batching is enabled, or one
+// concurrent append per substream when it is not — and, under aligned
+// checkpoints, injects a barrier when the coordinator has started a new
+// checkpoint.
 func (g *Ingress) Flush() error {
 	return g.flush(context.Background())
 }
 
+type ingressPending struct {
+	sub     int
+	records []Record
+}
+
 func (g *Ingress) flush(ctx context.Context) error {
 	g.mu.Lock()
-	type pending struct {
-		sub     int
-		records []Record
-	}
-	var out []pending
+	var out []ingressPending
 	for sub, buf := range g.bufs {
 		if len(buf.records) > 0 {
-			out = append(out, pending{sub: sub, records: buf.take()})
+			out = append(out, ingressPending{sub: sub, records: buf.take()})
 		}
 	}
 	g.mu.Unlock()
 
-	var wg sync.WaitGroup
-	errs := make([]error, len(out))
-	for i, p := range out {
-		wg.Add(1)
-		go func(i int, p pending) {
-			defer wg.Done()
-			batch := &Batch{Kind: KindSource, Producer: g.ID, Instance: 1, Records: p.records}
-			payload := batch.Encode()
-			errs[i] = g.retry.do(ctx, "ingress append", func() error {
-				_, err := g.env.Log.Append([]sharedlog.Tag{DataTag(g.stream, p.sub)}, payload)
-				return err
-			})
-			if errs[i] != nil {
-				// Input must never be silently lost: put the records
-				// back at the front of the substream buffer (they carry
-				// their assigned sequence numbers, so a later re-append
-				// keeps per-substream order and dedup exact) and let a
-				// future flush retry.
-				g.mu.Lock()
-				buf := g.bufs[p.sub]
-				buf.records = append(p.records, buf.records...)
-				for _, r := range p.records {
-					buf.bytes += 16 + len(r.Key) + len(r.Value)
-				}
-				g.mu.Unlock()
-			}
-		}(i, p)
+	var err error
+	if g.batched {
+		err = g.flushBatched(ctx, out)
+	} else {
+		err = g.flushSingly(ctx, out)
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	if err != nil {
+		return err
 	}
 
 	if g.ckpt != nil {
@@ -144,6 +129,92 @@ func (g *Ingress) flush(ctx context.Context) error {
 		}
 	}
 	return nil
+}
+
+// flushBatched ships every non-empty substream's batch through one
+// AppendBatch group commit: one simulated append latency and one
+// sequencer interaction for the whole flush, instead of one per
+// substream. The log either commits the whole group or fails before
+// committing anything, so error handling re-buffers everything.
+func (g *Ingress) flushBatched(ctx context.Context, out []ingressPending) error {
+	if len(out) == 0 {
+		return nil
+	}
+	entries := make([]sharedlog.AppendEntry, len(out))
+	bufs := make([]*wire.Buf, len(out))
+	for i, p := range out {
+		batch := Batch{Kind: KindSource, Producer: g.ID, Instance: 1, Records: p.records}
+		eb := wire.GetBuf()
+		eb.B = batch.AppendTo(eb.B)
+		bufs[i] = eb
+		entries[i] = sharedlog.AppendEntry{
+			Tags:    []sharedlog.Tag{DataTag(g.stream, p.sub)},
+			Payload: eb.B,
+		}
+	}
+	err := g.retry.do(ctx, "ingress append", func() error {
+		_, e := g.env.Log.AppendBatch(entries)
+		return e
+	})
+	for _, eb := range bufs {
+		wire.PutBuf(eb)
+	}
+	if err != nil {
+		// Input must never be silently lost: put every substream's
+		// records back at the front of its buffer (they keep their
+		// assigned sequence numbers, so a later re-append preserves
+		// per-substream order and exact dedup) and let a future flush
+		// retry.
+		g.mu.Lock()
+		for _, p := range out {
+			g.rebufferLocked(p)
+		}
+		g.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// flushSingly is the unbatched path (Env.Batch.MaxRecords == 1): one
+// append per non-empty substream, issued concurrently — the dataplane
+// as it was before group commit, kept for the batching ablation.
+func (g *Ingress) flushSingly(ctx context.Context, out []ingressPending) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(out))
+	for i, p := range out {
+		wg.Add(1)
+		go func(i int, p ingressPending) {
+			defer wg.Done()
+			batch := &Batch{Kind: KindSource, Producer: g.ID, Instance: 1, Records: p.records}
+			payload := batch.Encode()
+			errs[i] = g.retry.do(ctx, "ingress append", func() error {
+				_, err := g.env.Log.Append([]sharedlog.Tag{DataTag(g.stream, p.sub)}, payload)
+				return err
+			})
+			if errs[i] != nil {
+				g.mu.Lock()
+				g.rebufferLocked(p)
+				g.mu.Unlock()
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rebufferLocked puts a failed flush's records back at the front of
+// their substream buffer. Caller holds g.mu.
+func (g *Ingress) rebufferLocked(p ingressPending) {
+	buf := g.bufs[p.sub]
+	buf.records = append(p.records, buf.records...)
+	for _, r := range p.records {
+		buf.bytes += 16 + len(r.Key) + len(r.Value)
+	}
 }
 
 // Run flushes every interval until ctx is done, then performs one final

@@ -1,0 +1,48 @@
+package core
+
+import "fmt"
+
+// The marker-ordering invariant: a commit record (progress marker, txn
+// prepare) must follow, in the log's total order, every data and
+// change-log append it covers. The commit paths enforce it by draining
+// the batcher before appending the commit record synchronously; this
+// assertion makes a violation — a marker submitted while a covered
+// append is still buffered, sealed-but-in-flight, or unsubmitted in an
+// output buffer — loud instead of silently producing a marker that
+// gates records it cannot see.
+
+// markerOrderHook, when non-nil, observes violations instead of
+// panicking. Test-only: the regression test installs it to prove the
+// assertion actually fires.
+var markerOrderHook func(id TaskID, pendingAppends int64, bufferedRecords int)
+
+// assertAppendsDrained checks the invariant at the point a commit
+// record is about to be appended. Pending batcher entries are checked
+// always (the counter is one atomic load); the unflushed-buffer sweep
+// is gated behind the impellerdebug build tag.
+func (t *Task) assertAppendsDrained(where string) {
+	var pending int64
+	if t.appender != nil {
+		pending = t.appender.pending()
+	}
+	buffered := 0
+	if debugChecks || markerOrderHook != nil {
+		for out := range t.outBufs {
+			for sub := range t.outBufs[out] {
+				buffered += len(t.outBufs[out][sub].records)
+			}
+		}
+		buffered += len(t.changeBuf)
+	}
+	if pending == 0 && buffered == 0 {
+		return
+	}
+	if markerOrderHook != nil {
+		markerOrderHook(t.ID, pending, buffered)
+		return
+	}
+	if debugChecks {
+		panic(fmt.Sprintf("core: task %s: %s with %d undrained appends and %d unflushed records — marker would be ordered ahead of records it covers",
+			t.ID, where, pending, buffered))
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"impeller/internal/sharedlog"
+)
+
+// Regression tests for the marker-ordering invariant (invariant.go): a
+// commit record must never be submitted while a covered data or
+// change-log append is still buffered or in flight in the batcher —
+// that marker would be ordered ahead of records it claims to cover.
+
+func TestMarkerInvariantAssertionFires(t *testing.T) {
+	log := sharedlog.Open(sharedlog.Config{})
+	defer log.Close()
+
+	type violation struct {
+		pending  int64
+		buffered int
+	}
+	var got []violation
+	markerOrderHook = func(_ TaskID, pending int64, buffered int) {
+		got = append(got, violation{pending, buffered})
+	}
+	defer func() { markerOrderHook = nil }()
+
+	// A batcher holding an unsealed entry: thresholds high enough that
+	// nothing auto-flushes.
+	cfg := BatchConfig{MaxRecords: 1024, MaxBytes: 1 << 30, Linger: time.Hour, Window: 4}
+	b := newBatcher(log, cfg, nil, context.Background(), nil, nil)
+	defer b.close()
+	b.submit([]sharedlog.Tag{"t"}, []byte("covered"), nil, nil)
+
+	task := &Task{ID: "inv/0", appender: b}
+	task.assertAppendsDrained("progress marker")
+	if len(got) != 1 || got[0].pending != 1 {
+		t.Fatalf("undrained batcher: hook observed %+v, want one violation with pending=1", got)
+	}
+
+	// Records sitting in an unflushed output buffer (and change buffer)
+	// count too: they are covered appends the marker would overtake.
+	buf := &batchBuf{}
+	buf.add(Record{Seq: 1, Key: []byte("k"), Value: []byte("v")})
+	task2 := &Task{
+		ID:        "inv/1",
+		outBufs:   [][]*batchBuf{{buf}},
+		changeBuf: []Record{{Seq: 2, Key: []byte("s"), Value: []byte("c")}},
+	}
+	got = nil
+	task2.assertAppendsDrained("progress marker")
+	if len(got) != 1 || got[0].buffered != 2 {
+		t.Fatalf("unflushed buffers: hook observed %+v, want one violation with buffered=2", got)
+	}
+
+	// After the drain the assertion must be silent.
+	if err := b.drain(); err != nil {
+		t.Fatal(err)
+	}
+	got = nil
+	task.assertAppendsDrained("progress marker")
+	if len(got) != 0 {
+		t.Fatalf("drained batcher still reported violations: %+v", got)
+	}
+}
+
+// TestMarkerInvariantHoldsEndToEnd runs real pipelines with the
+// violation hook installed: the commit paths (progress markers and txn
+// prepares) must always drain before appending their commit record.
+func TestMarkerInvariantHoldsEndToEnd(t *testing.T) {
+	for _, proto := range []FTProtocol{ProtoProgressMarker, ProtoKafkaTxn} {
+		t.Run(proto.String(), func(t *testing.T) {
+			var mu sync.Mutex
+			var violations []string
+			markerOrderHook = func(id TaskID, pending int64, buffered int) {
+				mu.Lock()
+				violations = append(violations, string(id))
+				mu.Unlock()
+			}
+			defer func() { markerOrderHook = nil }()
+
+			c := startWordCount(t, proto, 2, 2)
+			want := c.send(testLines)
+			c.waitCounts(want, 10*time.Second)
+
+			mu.Lock()
+			defer mu.Unlock()
+			if len(violations) != 0 {
+				t.Fatalf("marker-ordering invariant violated by tasks %v", violations)
+			}
+		})
+	}
+}

@@ -26,6 +26,14 @@ type TaskMetrics struct {
 	MarkerBytesUnshrunk atomic.Uint64
 	// Appends counts log appends issued (outputs, change log, control).
 	Appends atomic.Uint64
+	// AppendBatches counts group commits the batcher shipped;
+	// BatchedRecords counts the appends they carried. BatchedRecords /
+	// AppendBatches is the realized batch size.
+	AppendBatches  atomic.Uint64
+	BatchedRecords atomic.Uint64
+	// BatchStalls counts batch submissions that blocked because the
+	// in-flight append window was full (output backpressure).
+	BatchStalls atomic.Uint64
 	// CommitStalls counts commit ticks that had to wait for a previous
 	// in-flight commit (Kafka transactions, aligned checkpoints).
 	CommitStalls atomic.Uint64
@@ -51,6 +59,7 @@ type TaskMetrics struct {
 type QueryMetrics struct {
 	Processed, Emitted, DroppedUncommitted, DroppedDuplicate uint64
 	Markers, MarkerBytes, MarkerBytesUnshrunk, Appends       uint64
+	AppendBatches, BatchedRecords, BatchStalls               uint64
 	CommitStalls, ChangeRecords, RecoveredChanges            uint64
 	Retries, CheckpointDecodeFailures                        uint64
 }
@@ -65,6 +74,9 @@ func (q *QueryMetrics) Add(m *TaskMetrics) {
 	q.MarkerBytes += m.MarkerBytes.Load()
 	q.MarkerBytesUnshrunk += m.MarkerBytesUnshrunk.Load()
 	q.Appends += m.Appends.Load()
+	q.AppendBatches += m.AppendBatches.Load()
+	q.BatchedRecords += m.BatchedRecords.Load()
+	q.BatchStalls += m.BatchStalls.Load()
 	q.CommitStalls += m.CommitStalls.Load()
 	q.ChangeRecords += m.ChangeRecords.Load()
 	q.RecoveredChanges += m.RecoveredChanges.Load()

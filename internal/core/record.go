@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"impeller/internal/sharedlog"
+	"impeller/internal/wire"
 )
 
 // TaskID identifies a task: a unit of execution processing one
@@ -141,6 +142,17 @@ type Batch struct {
 // ErrBadEncoding reports a malformed batch or marker payload.
 var ErrBadEncoding = errors.New("core: bad record encoding")
 
+// EncodedSize returns the exact length Encode/AppendTo produce, so
+// callers sizing flush thresholds or pre-growing buffers need no trial
+// encoding.
+func (b *Batch) EncodedSize() int {
+	size := 1 + 8 + 8 + 2 + len(b.Producer) + 4 + len(b.Control) + 4
+	for i := range b.Records {
+		size += 8 + 8 + 4 + len(b.Records[i].Key) + 4 + len(b.Records[i].Value)
+	}
+	return size
+}
+
 // Encode serializes the batch.
 //
 // wire format:
@@ -149,27 +161,27 @@ var ErrBadEncoding = errors.New("core: bad record encoding")
 //	| controlLen(4) control | count(4)
 //	| per record: seq(8) eventTime(8) keyLen(4) key valueLen(4) value
 func (b *Batch) Encode() []byte {
-	size := 1 + 8 + 8 + 2 + len(b.Producer) + 4 + len(b.Control) + 4
-	for i := range b.Records {
-		size += 8 + 8 + 4 + len(b.Records[i].Key) + 4 + len(b.Records[i].Value)
-	}
-	buf := make([]byte, 0, size)
+	return b.AppendTo(make([]byte, 0, b.EncodedSize()))
+}
+
+// AppendTo appends the batch's encoding to buf and returns the extended
+// slice. This is the allocation-free entry point of the hot path: with
+// a pooled buffer (internal/wire) whose backing array has warmed up to
+// the working batch size, encoding allocates nothing.
+func (b *Batch) AppendTo(buf []byte) []byte {
 	buf = append(buf, byte(b.Kind))
 	buf = binary.LittleEndian.AppendUint64(buf, b.Instance)
 	buf = binary.LittleEndian.AppendUint64(buf, b.Epoch)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(b.Producer)))
 	buf = append(buf, b.Producer...)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b.Control)))
-	buf = append(buf, b.Control...)
+	buf = wire.AppendBytes32(buf, b.Control)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b.Records)))
 	for i := range b.Records {
 		r := &b.Records[i]
 		buf = binary.LittleEndian.AppendUint64(buf, r.Seq)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.EventTime))
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Key)))
-		buf = append(buf, r.Key...)
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Value)))
-		buf = append(buf, r.Value...)
+		buf = wire.AppendBytes32(buf, r.Key)
+		buf = wire.AppendBytes32(buf, r.Value)
 	}
 	return buf
 }

@@ -11,17 +11,19 @@ import (
 	"impeller/internal/sharedlog"
 )
 
-func TestAppenderPreservesSubmissionOrder(t *testing.T) {
+func TestBatcherPreservesSubmissionOrder(t *testing.T) {
 	log := sharedlog.Open(sharedlog.Config{})
 	defer log.Close()
-	a := newAppender(log, 8)
+	// Small batches and a narrow window so the 100 submissions cross
+	// many sealed batches (and exercise the backpressure path).
+	a := newBatcher(log, BatchConfig{MaxRecords: 8, Window: 2}, nil, context.Background(), nil, nil)
 	defer a.close()
 
 	var mu sync.Mutex
 	var lsns []LSN
 	for i := 0; i < 100; i++ {
 		payload := []byte{byte(i)}
-		a.submit(appendJob{tags: []sharedlog.Tag{"t"}, payload: payload, onDone: func(lsn LSN, err error) {
+		a.submit([]sharedlog.Tag{"t"}, payload, nil, func(lsn LSN, err error) {
 			if err != nil {
 				t.Errorf("append: %v", err)
 				return
@@ -29,7 +31,7 @@ func TestAppenderPreservesSubmissionOrder(t *testing.T) {
 			mu.Lock()
 			lsns = append(lsns, lsn)
 			mu.Unlock()
-		}})
+		})
 	}
 	if err := a.drain(); err != nil {
 		t.Fatal(err)
@@ -56,14 +58,17 @@ func TestAppenderPreservesSubmissionOrder(t *testing.T) {
 	}
 }
 
-func TestAppenderReportsFirstError(t *testing.T) {
+func TestBatcherReportsFirstError(t *testing.T) {
 	log := sharedlog.Open(sharedlog.Config{})
-	a := newAppender(log, 4)
+	a := newBatcher(log, BatchConfig{}, nil, context.Background(), nil, nil)
 	defer a.close()
 	log.Close() // force append failures
-	a.submit(appendJob{tags: []sharedlog.Tag{"t"}, payload: nil})
+	a.submit([]sharedlog.Tag{"t"}, nil, nil, nil)
 	if err := a.drain(); !errors.Is(err, sharedlog.ErrClosed) {
 		t.Fatalf("drain err = %v, want ErrClosed", err)
+	}
+	if n := a.pending(); n != 0 {
+		t.Fatalf("pending after drain = %d", n)
 	}
 }
 

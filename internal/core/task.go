@@ -9,6 +9,7 @@ import (
 
 	"impeller/internal/sharedlog"
 	"impeller/internal/sim"
+	"impeller/internal/wire"
 )
 
 // DefaultFlushBytes is the output buffer size before a forced flush
@@ -56,11 +57,20 @@ type Task struct {
 	changeBuf []Record
 	outSeq    uint64
 	epoch     uint64
-	appenders map[string]*appender
 
-	// progress accounting, updated from appender callbacks under
-	// progressMu (several appenders run concurrently); the task reads
-	// it after drain().
+	// appender is the task's batched append pipeline; outDests and
+	// changeDest are its precomputed destinations — tag sets and
+	// completion callbacks built once at construction, so the per-flush
+	// path allocates neither key strings nor closures.
+	appender   *batcher
+	batchCfg   BatchConfig
+	outDests   [][]appendDest // [port][substream]
+	changeDest appendDest
+	markerTags []sharedlog.Tag
+
+	// progress accounting, updated from batcher callbacks under
+	// progressMu (the callbacks run on the batcher goroutine); the task
+	// reads it after drain().
 	progressMu  sync.Mutex
 	outFirst    map[sharedlog.Tag]LSN
 	changeFirst LSN
@@ -104,7 +114,6 @@ func NewTask(stage *Stage, sub int, instance uint64, env *Env, opts TaskOptions)
 		proc:        stage.NewProcessor(),
 		lastSeq:     make(map[TaskID]uint64),
 		skipBelow:   make(map[TaskID]LSN),
-		appenders:   make(map[string]*appender),
 		outFirst:    make(map[sharedlog.Tag]LSN),
 		changeFirst: NoLSN,
 		firstCommit: true,
@@ -132,12 +141,41 @@ func NewTask(stage *Stage, sub int, instance uint64, env *Env, opts TaskOptions)
 	}
 
 	t.outBufs = make([][]*batchBuf, len(stage.Outputs))
+	t.outDests = make([][]appendDest, len(stage.Outputs))
 	for i, out := range stage.Outputs {
 		t.outBufs[i] = make([]*batchBuf, out.Partitions)
+		t.outDests[i] = make([]appendDest, out.Partitions)
 		for p := range t.outBufs[i] {
 			t.outBufs[i][p] = &batchBuf{}
 		}
+		if out.Broadcast {
+			// Broadcast batches park in substream 0's buffer and carry
+			// every substream tag in one atomic append.
+			t.outDests[i][0] = t.newOutDest(out.Tags())
+		} else {
+			for p := range t.outDests[i] {
+				t.outDests[i][p] = t.newOutDest([]sharedlog.Tag{DataTag(out.Stream, p)})
+			}
+		}
 	}
+	t.changeDest = t.newChangeDest()
+
+	// Marker tags — every downstream substream, the task log, and (for
+	// stateful tasks) the change log (paper Figure 6) — never vary
+	// between commits; build them once.
+	for _, out := range stage.Outputs {
+		t.markerTags = append(t.markerTags, out.Tags()...)
+	}
+	t.markerTags = append(t.markerTags, TaskLogTag(t.ID))
+	if stage.Stateful {
+		t.markerTags = append(t.markerTags, ChangeLogTag(t.ID))
+	}
+
+	t.batchCfg = env.Batch
+	if opts.Batch != (BatchConfig{}) {
+		t.batchCfg = opts.Batch
+	}
+	t.batchCfg = t.batchCfg.withDefaults()
 
 	switch env.Protocol {
 	case ProtoProgressMarker:
@@ -165,6 +203,47 @@ type TaskOptions struct {
 	Ckpt      *CkptCoordinator
 	Heartbeat func()
 	Metrics   *TaskMetrics
+	// Batch, when non-zero, overrides Env.Batch for this task.
+	Batch BatchConfig
+}
+
+// appendDest is a precomputed append destination: the tag set for one
+// output substream (or the broadcast set, or the change log) plus the
+// completion callback that folds the assigned LSN into the task's
+// progress accounting. Computed once at construction — the old path
+// formatted a map key string and allocated a fresh closure on every
+// flush.
+type appendDest struct {
+	tags   []sharedlog.Tag
+	onDone func(lsn LSN, err error)
+}
+
+func (t *Task) newOutDest(tags []sharedlog.Tag) appendDest {
+	return appendDest{tags: tags, onDone: func(lsn LSN, err error) {
+		if err != nil {
+			return
+		}
+		t.progressMu.Lock()
+		for _, tag := range tags {
+			if cur, ok := t.outFirst[tag]; !ok || lsn < cur {
+				t.outFirst[tag] = lsn
+			}
+		}
+		t.progressMu.Unlock()
+	}}
+}
+
+func (t *Task) newChangeDest() appendDest {
+	return appendDest{tags: []sharedlog.Tag{ChangeLogTag(t.ID)}, onDone: func(lsn LSN, err error) {
+		if err != nil {
+			return
+		}
+		t.progressMu.Lock()
+		if t.changeFirst == NoLSN || lsn < t.changeFirst {
+			t.changeFirst = lsn
+		}
+		t.progressMu.Unlock()
+	}}
 }
 
 // multiTagMarkerTracker dispatches classification to a per-input-tag
@@ -226,6 +305,18 @@ func (b *batchBuf) take() []Record {
 	b.records = nil
 	b.bytes = 0
 	return out
+}
+
+// recycle hands a taken records slice back for reuse after its contents
+// have been encoded. References are dropped first so the backing array
+// does not pin application payloads.
+func (b *batchBuf) recycle(records []Record) {
+	for i := range records {
+		records[i] = Record{}
+	}
+	if b.records == nil {
+		b.records = records[:0]
+	}
 }
 
 // --- ProcContext ---
@@ -524,7 +615,10 @@ func (t *Task) emit(out int, d Datum) {
 	}
 }
 
-// flushOutputs flushes every non-empty output and change-log buffer.
+// flushOutputs flushes every non-empty output and change-log buffer,
+// then seals the accumulating append batch — so one flush tick becomes
+// one group commit covering the tick's data and change-log appends
+// together instead of one log append per destination.
 func (t *Task) flushOutputs() {
 	for out := range t.outBufs {
 		for sub := range t.outBufs[out] {
@@ -534,73 +628,55 @@ func (t *Task) flushOutputs() {
 		}
 	}
 	t.flushChanges()
+	if t.appender != nil {
+		t.appender.flush()
+	}
 }
 
-// flushBuf appends one output substream's buffered records as a batch.
+// flushBuf submits one output substream's buffered records as a batch.
 func (t *Task) flushBuf(out, sub int) {
-	spec := t.stage.Outputs[out]
 	buf := t.outBufs[out][sub]
 	records := buf.take()
 	if len(records) == 0 {
 		return
 	}
-	batch := &Batch{
+	batch := Batch{
 		Kind:     KindData,
 		Producer: t.ID,
 		Instance: t.Instance,
 		Epoch:    t.dataEpoch(),
 		Records:  records,
 	}
-	var tags []sharedlog.Tag
-	if spec.Broadcast {
-		tags = spec.Tags()
-	} else {
-		tags = []sharedlog.Tag{DataTag(spec.Stream, sub)}
-	}
+	dest := &t.outDests[out][sub]
 	if t.env.Protocol == ProtoKafkaTxn {
-		t.txnRegister(tags)
+		t.txnRegister(dest.tags)
 	}
-	key := appenderKey(tags)
-	t.submitAppend(key, tags, batch.Encode(), func(lsn LSN, err error) {
-		if err != nil {
-			return
-		}
-		t.progressMu.Lock()
-		for _, tag := range tags {
-			if cur, ok := t.outFirst[tag]; !ok || lsn < cur {
-				t.outFirst[tag] = lsn
-			}
-		}
-		t.progressMu.Unlock()
-	})
+	eb := wire.GetBuf()
+	eb.B = batch.AppendTo(eb.B)
+	t.submitAppend(dest.tags, eb.B, eb, dest.onDone)
+	buf.recycle(records)
 }
 
-// flushChanges appends buffered change-log records.
+// flushChanges submits buffered change-log records.
 func (t *Task) flushChanges() {
 	if len(t.changeBuf) == 0 {
 		return
 	}
 	records := t.changeBuf
-	t.changeBuf = nil
-	batch := &Batch{
+	batch := Batch{
 		Kind:     KindChange,
 		Producer: t.ID,
 		Instance: t.Instance,
 		Epoch:    t.dataEpoch(),
 		Records:  records,
 	}
-	tag := ChangeLogTag(t.ID)
-	tags := []sharedlog.Tag{tag}
-	t.submitAppend(string(tag), tags, batch.Encode(), func(lsn LSN, err error) {
-		if err != nil {
-			return
-		}
-		t.progressMu.Lock()
-		if t.changeFirst == NoLSN || lsn < t.changeFirst {
-			t.changeFirst = lsn
-		}
-		t.progressMu.Unlock()
-	})
+	eb := wire.GetBuf()
+	eb.B = batch.AppendTo(eb.B)
+	t.submitAppend(t.changeDest.tags, eb.B, eb, t.changeDest.onDone)
+	for i := range records {
+		records[i] = Record{}
+	}
+	t.changeBuf = records[:0]
 }
 
 // dataEpoch is the commit epoch stamped on data batches: the open
@@ -612,45 +688,33 @@ func (t *Task) dataEpoch() uint64 {
 	return 0
 }
 
-func appenderKey(tags []sharedlog.Tag) string {
-	if len(tags) == 1 {
-		return string(tags[0])
-	}
-	key := "multi"
-	for _, t := range tags {
-		key += "|" + string(t)
-	}
-	return key
-}
-
-func (t *Task) submitAppend(key string, tags []sharedlog.Tag, payload []byte, onDone func(LSN, error)) {
-	a := t.appenders[key]
-	if a == nil {
+// submitAppend hands one encoded payload to the task's batcher. eb, if
+// non-nil, is the pooled buffer backing payload, recycled once the
+// append completes.
+func (t *Task) submitAppend(tags []sharedlog.Tag, payload []byte, eb *wire.Buf, onDone func(LSN, error)) {
+	if t.appender == nil {
 		ctx := t.runCtx
 		if ctx == nil {
 			ctx = context.Background()
 		}
-		a = newRetryingAppender(t.log, 64, t.retry, ctx)
-		t.appenders[key] = a
+		t.appender = newBatcher(t.log, t.batchCfg, t.retry, ctx, t.env.Clock, t.Metrics)
 	}
 	t.Metrics.Appends.Add(1)
-	a.submit(appendJob{tags: tags, payload: payload, onDone: onDone})
+	t.appender.submit(tags, payload, eb, onDone)
 }
 
 // drainAppends waits for all in-flight appends; a commit record must
 // follow everything it covers in the log's total order.
 func (t *Task) drainAppends() error {
-	for _, a := range t.appenders {
-		if err := a.drain(); err != nil {
-			return err
-		}
+	if t.appender == nil {
+		return nil
 	}
-	return nil
+	return t.appender.drain()
 }
 
 func (t *Task) closeAppenders() {
-	for _, a := range t.appenders {
-		a.close()
+	if t.appender != nil {
+		t.appender.close()
 	}
 }
 

@@ -182,6 +182,10 @@ type Env struct {
 	// Retry bounds the transient-fault retry loop around log
 	// operations; the zero value selects the defaults.
 	Retry RetryPolicy
+	// Batch tunes the batched dataplane (task append batchers and the
+	// ingress group-commit path); the zero value selects the defaults.
+	// MaxRecords: 1 disables coalescing for ablations.
+	Batch BatchConfig
 	// Seed fixes the retry jitter stream (0 selects a fixed default).
 	Seed uint64
 

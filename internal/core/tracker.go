@@ -45,8 +45,16 @@ type commitTracker interface {
 
 // --- Impeller progress markers ---
 
-// lsnRange is a closed interval of LSNs committed by one marker.
-type lsnRange struct{ first, last LSN }
+// lsnRange is a closed interval of LSNs committed by one marker, by the
+// producer instance that appended the marker. The instance matters: a
+// zombie's orphan batch can land between its replacement's first output
+// and the replacement's marker — inside the replacement's range — and
+// only the instance stamp distinguishes it from the records the marker
+// actually covers.
+type lsnRange struct {
+	first, last LSN
+	instance    uint64
+}
 
 // producerProgress tracks one upstream task's committed output ranges
 // in this consumer's substream.
@@ -110,7 +118,7 @@ func (t *markerTracker) observeControl(b *Batch, lsn LSN) error {
 			return fmt.Errorf("core: marker invariant violated: range [%d, %d] overlaps committed top %d (producer %s)",
 				first, lsn, p.top, b.Producer)
 		}
-		p.ranges = append(p.ranges, lsnRange{first: first, last: lsn})
+		p.ranges = append(p.ranges, lsnRange{first: first, last: lsn, instance: b.Instance})
 	}
 	// Even without output for this substream the marker advances the
 	// producer's committed top: everything below it that is not inside
@@ -140,10 +148,15 @@ func (t *markerTracker) classify(b *Batch, lsn LSN) classification {
 		}
 		return classUnknown
 	}
-	// lsn <= top: committed iff inside some range; otherwise it lies
-	// before or between committed ranges and can never be committed.
+	// lsn <= top: committed iff inside some range appended by the same
+	// instance; otherwise it lies before or between committed ranges —
+	// or it is a fenced zombie's orphan that interleaved with the
+	// covering instance's outputs — and can never be committed. A
+	// marker only ever covers its own instance's outputs: the fence
+	// guarantees every committed old-instance marker precedes the
+	// replacement's first output in the log's total order.
 	i := sort.Search(len(p.ranges), func(i int) bool { return p.ranges[i].last >= lsn })
-	if i < len(p.ranges) && p.ranges[i].first <= lsn {
+	if i < len(p.ranges) && p.ranges[i].first <= lsn && p.ranges[i].instance == b.Instance {
 		return classCommitted
 	}
 	return classUncommitted

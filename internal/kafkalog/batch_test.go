@@ -1,0 +1,157 @@
+package kafkalog
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestProduceBatchDenseOffsetsAndContents(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Produce("t", 0, []byte("pre"), []byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	msgs := make([]KV, 10)
+	for i := range msgs {
+		msgs[i] = KV{Key: []byte(fmt.Sprintf("k%d", i)), Value: []byte(fmt.Sprintf("v%d", i))}
+	}
+	first, err := c.ProduceBatch("t", 0, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 {
+		t.Fatalf("first offset = %d, want 1", first)
+	}
+	for i := range msgs {
+		m, err := c.Fetch("t", 0, first+Offset(i), ReadCommitted)
+		if err != nil || m == nil {
+			t.Fatalf("Fetch(%d) = %v, %v", i, m, err)
+		}
+		if m.Offset != first+Offset(i) {
+			t.Fatalf("offset %d, want %d", m.Offset, first+Offset(i))
+		}
+		if string(m.Key) != fmt.Sprintf("k%d", i) || string(m.Value) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("message %d = %q/%q", i, m.Key, m.Value)
+		}
+	}
+	if off, err := c.ProduceBatch("t", 0, nil); off != 0 || err != nil {
+		t.Fatalf("empty batch = %d, %v", off, err)
+	}
+	if hw, _ := c.HighWatermark("t", 0); hw != 11 {
+		t.Fatalf("high watermark = %d, want 11", hw)
+	}
+}
+
+func TestProduceBatchCopiesInputs(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	key, val := []byte("key"), []byte("val")
+	if _, err := c.ProduceBatch("t", 0, []KV{{Key: key, Value: val}}); err != nil {
+		t.Fatal(err)
+	}
+	key[0], val[0] = 'X', 'X'
+	m, err := c.Fetch("t", 0, 0, ReadUncommitted)
+	if err != nil || m == nil {
+		t.Fatalf("Fetch = %v, %v", m, err)
+	}
+	if string(m.Key) != "key" || string(m.Value) != "val" {
+		t.Fatalf("batch aliased caller memory: %q/%q", m.Key, m.Value)
+	}
+}
+
+func TestSendBatchTransactionalVisibility(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.InitProducer("txn-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.SendBatch("t", 0, []KV{{Value: []byte("x")}}); err != ErrNoTransaction {
+		t.Fatalf("SendBatch outside txn = %v", err)
+	}
+	if err := p.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	first, err := p.SendBatch("t", 0, []KV{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Key: []byte("b"), Value: []byte("2")},
+	})
+	if err != nil || first != 0 {
+		t.Fatalf("SendBatch = %d, %v", first, err)
+	}
+	// Pending: invisible to read-committed, visible to read-uncommitted.
+	if m, _ := c.Fetch("t", 0, 0, ReadCommitted); m != nil {
+		t.Fatal("pending batch visible to read-committed consumer")
+	}
+	if m, _ := c.Fetch("t", 0, 0, ReadUncommitted); m == nil {
+		t.Fatal("pending batch invisible to read-uncommitted consumer")
+	}
+	if _, err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		m, _ := c.Fetch("t", 0, Offset(i), ReadCommitted)
+		if m == nil {
+			t.Fatalf("committed batch message %d unreadable", i)
+		}
+		if m.ProducerID != p.pid || m.Epoch != p.epoch {
+			t.Fatalf("message %d producer metadata = %d/%d", i, m.ProducerID, m.Epoch)
+		}
+	}
+}
+
+func TestSendBatchRegistersPartitionOnce(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.InitProducer("txn-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	before := c.TxnLogLen()
+	for i := 0; i < 3; i++ {
+		if _, err := p.SendBatch("t", 0, []KV{{Value: []byte{byte(i)}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One add-partitions record for three batches to the same partition.
+	if got := c.TxnLogLen() - before; got != 1 {
+		t.Fatalf("txn log grew by %d, want 1 (single registration)", got)
+	}
+	if err := p.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := c.Fetch("t", 0, 0, ReadCommitted); m != nil {
+		t.Fatal("aborted batch visible to read-committed consumer")
+	}
+}
+
+func TestSendBatchFencedProducer(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	old, err := c.InitProducer("txn-c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := old.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.InitProducer("txn-c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := old.SendBatch("t", 0, []KV{{Value: []byte("z")}}); err != ErrFenced {
+		t.Fatalf("fenced SendBatch = %v", err)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"testing"
+
+	"impeller/internal/sim"
 )
 
 // Micro-benchmarks for the shared log's hot paths. The refactor that
@@ -25,6 +27,75 @@ func BenchmarkAppendParallel(b *testing.B) {
 		tags := []Tag{"bench"}
 		for pb.Next() {
 			if _, err := l.Append(tags, payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAppendBatch measures group-commit throughput at several
+// batch sizes. Compare ns/op ÷ batch size against BenchmarkAppendParallel
+// to see the per-record amortization (results/sharedlog_bench.md).
+func BenchmarkAppendBatch(b *testing.B) {
+	for _, size := range []int{8, 64, 256} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			l := Open(Config{})
+			defer l.Close()
+			payload := make([]byte, 128)
+			entries := make([]AppendEntry, size)
+			for i := range entries {
+				entries[i] = AppendEntry{Tags: []Tag{Tag(fmt.Sprintf("t%d", i%4))}, Payload: payload}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.AppendBatch(entries); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*size), "ns/record")
+		})
+	}
+}
+
+// BenchmarkAppendLatencyAmortization measures the group-commit win the
+// paper actually claims (§5.3): with a calibrated append round trip
+// charged per operation, single appends pay it per record while
+// AppendBatch pays it per group. Latency is scaled to 1/20 of the Boki
+// calibration to keep benchmark wall time sane; the ratio between the
+// two subbenches is the amortization factor (per-record ns/op).
+func BenchmarkAppendLatencyAmortization(b *testing.B) {
+	open := func() *Log {
+		return Open(Config{
+			AppendLatency: sim.Scale{M: sim.DefaultBokiLatency(sim.NewRand(1).Fork()), F: 0.05},
+		})
+	}
+	payload := make([]byte, 128)
+	b.Run("single/clients=16", func(b *testing.B) {
+		l := open()
+		defer l.Close()
+		b.SetParallelism(16) // 16 concurrent appenders, each blocked on its own round trip
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			tags := []Tag{"bench"}
+			for pb.Next() {
+				if _, err := l.Append(tags, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("batch=64", func(b *testing.B) {
+		l := open()
+		defer l.Close()
+		entries := make([]AppendEntry, 64)
+		for i := range entries {
+			entries[i] = AppendEntry{Tags: []Tag{Tag(fmt.Sprintf("t%d", i%4))}, Payload: payload}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += len(entries) {
+			if _, err := l.AppendBatch(entries); err != nil {
 				b.Fatal(err)
 			}
 		}

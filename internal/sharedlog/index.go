@@ -63,8 +63,8 @@ func newTagIndex() *tagIndex {
 	return idx
 }
 
-// shardFor hashes tag onto a shard (FNV-1a).
-func (x *tagIndex) shardFor(tag Tag) *indexShard {
+// shardIdx hashes tag onto a shard index (FNV-1a).
+func shardIdx(tag Tag) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -74,7 +74,11 @@ func (x *tagIndex) shardFor(tag Tag) *indexShard {
 		h ^= uint64(tag[i])
 		h *= prime64
 	}
-	return &x.shards[h&(indexShards-1)]
+	return h & (indexShards - 1)
+}
+
+func (x *tagIndex) shardFor(tag Tag) *indexShard {
+	return &x.shards[shardIdx(tag)]
 }
 
 // add records lsn under every tag and wakes the readers blocked on those
@@ -95,6 +99,66 @@ func (x *tagIndex) add(tags []Tag, lsn LSN) int {
 		e.waiters = nil
 		s.mu.Unlock()
 		for _, w := range ws {
+			if w.wake() {
+				woken++
+			}
+		}
+	}
+	return woken
+}
+
+// tagInsert is one (tag, lsn) pair of a vectorized index pass.
+type tagInsert struct {
+	tag Tag
+	lsn LSN
+}
+
+// addRecords indexes a group of committed records in one vectorized
+// pass: the (tag, lsn) inserts are bucketed by shard first, so each
+// touched shard's write lock is taken once per group instead of once
+// per tag occurrence. recs must be in ascending LSN order and the call
+// must be serialized with every other index insertion (the ordering
+// plane calls it under l.mu) — that is what keeps each per-tag LSN list
+// sorted for the read plane's binary searches. Returns how many waiters
+// the group woke.
+func (x *tagIndex) addRecords(recs []*Record) int {
+	if len(recs) == 0 {
+		return 0
+	}
+	if len(recs) == 1 {
+		return x.add(recs[0].Tags, recs[0].LSN)
+	}
+	var buckets [indexShards][]tagInsert
+	for _, rec := range recs {
+		for _, tag := range rec.Tags {
+			i := shardIdx(tag)
+			buckets[i] = append(buckets[i], tagInsert{tag: tag, lsn: rec.LSN})
+		}
+	}
+	woken := 0
+	var toWake []*waiter
+	for i := range buckets {
+		ins := buckets[i]
+		if len(ins) == 0 {
+			continue
+		}
+		s := &x.shards[i]
+		toWake = toWake[:0]
+		s.mu.Lock()
+		for _, in := range ins {
+			e := s.m[in.tag]
+			if e == nil {
+				e = &tagEntry{}
+				s.m[in.tag] = e
+			}
+			e.lsns = append(e.lsns, in.lsn)
+			if len(e.waiters) > 0 {
+				toWake = append(toWake, e.waiters...)
+				e.waiters = nil
+			}
+		}
+		s.mu.Unlock()
+		for _, w := range toWake {
 			if w.wake() {
 				woken++
 			}

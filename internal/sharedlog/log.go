@@ -161,10 +161,10 @@ type Log struct {
 	cfg Config
 
 	// Ordering plane: mu serializes LSN assignment, conditional-append
-	// guard checks, and the pending batch. Reads never take it.
+	// guard checks, and the pending batches. Reads never take it.
 	mu       sync.Mutex
-	pending  []pendingAppend // waiting for the sequencer cut
-	ordering bool            // sequencer loop running
+	pending  []pendingBatch // waiting for the sequencer cut
+	ordering bool           // sequencer loop running
 
 	// Committed-read plane: lock-free segmented store + sharded index.
 	store *store
@@ -220,8 +220,8 @@ func (l *Log) Close() {
 		l.pending = nil
 		l.mu.Unlock()
 		close(l.done) // stops the sequencer and wakes every blocked reader
-		for _, p := range pending {
-			close(p.resp)
+		for _, b := range pending {
+			close(b.resp)
 		}
 	})
 }

@@ -6,11 +6,19 @@ package sharedlog
 // plane (store.go, index.go, read.go) only ever observes fully
 // published state.
 
-// pendingAppend is an append waiting for the next sequencer cut.
-type pendingAppend struct {
-	rec  *Record
-	resp chan appendResult
-	// conditional-append guard, re-validated at ordering time.
+// pendingBatch is a group of appends waiting for the next sequencer
+// cut. A single Append is a batch of one; AppendBatch enqueues many
+// entries behind one response channel so the whole group is ordered
+// contiguously within the cut.
+type pendingBatch struct {
+	entries []pendingEntry
+	resp    chan []appendResult // one result per entry, index-aligned
+}
+
+// pendingEntry is one record of a pending batch, with its
+// conditional-append guard re-validated at ordering time.
+type pendingEntry struct {
+	rec         *Record
 	conditional bool
 	condKey     string
 	condWant    uint64
@@ -78,10 +86,15 @@ func (l *Log) append(tags []Tag, payload []byte, condKey string, condWant uint64
 	// Ordering mode: the guard is validated at the sequencer cut — the
 	// moment the LSN is assigned — not at enqueue time, so a fence
 	// between enqueue and cut still excludes the append.
-	resp := make(chan appendResult, 1)
-	l.pending = append(l.pending, pendingAppend{
-		rec: rec, resp: resp,
-		conditional: conditional, condKey: condKey, condWant: condWant,
+	resp := make(chan []appendResult, 1)
+	l.pending = append(l.pending, pendingBatch{
+		entries: []pendingEntry{{
+			rec:         rec,
+			conditional: conditional,
+			condKey:     condKey,
+			condWant:    condWant,
+		}},
+		resp: resp,
 	})
 	l.mu.Unlock()
 
@@ -89,7 +102,7 @@ func (l *Log) append(tags []Tag, payload []byte, condKey string, condWant uint64
 	if !ok {
 		return 0, ErrClosed
 	}
-	return res.lsn, res.err
+	return res[0].lsn, res[0].err
 }
 
 // condHoldsLocked reports whether the metadata guard still holds.
@@ -118,9 +131,51 @@ func (l *Log) commitLocked(rec *Record) LSN {
 	return lsn
 }
 
+// orderLocked runs the ordering decision for a group of entries:
+// validates each conditional guard, assigns contiguous LSNs, and
+// publishes the records to the committed store. Index insertion is left
+// to the caller (publishLocked) so a whole group — or a whole sequencer
+// cut spanning many groups — gets one vectorized index pass. Committed
+// records are appended to recs and returned; results is filled
+// index-aligned with entries. Caller holds l.mu.
+func (l *Log) orderLocked(entries []pendingEntry, results []appendResult, recs []*Record) []*Record {
+	for i := range entries {
+		e := &entries[i]
+		if e.conditional && !l.condHoldsLocked(e.condKey, e.condWant) {
+			results[i] = appendResult{err: ErrCondFailed}
+			l.stats.condFailed.Add(1)
+			continue
+		}
+		lsn := l.store.nextLSN()
+		e.rec.LSN = lsn
+		l.store.put(e.rec)
+		results[i] = appendResult{lsn: lsn}
+		recs = append(recs, e.rec)
+	}
+	return recs
+}
+
+// publishLocked indexes an ordered group of committed records with one
+// vectorized pass and wakes the readers their tags unblock. Records are
+// already in the store (orderLocked), so any reader that finds an LSN
+// through the index sees the record behind it. Caller holds l.mu —
+// index insertion must stay serialized in LSN order so per-tag LSN
+// lists remain sorted.
+func (l *Log) publishLocked(recs []*Record) {
+	if len(recs) == 0 {
+		return
+	}
+	woken := l.index.addRecords(recs)
+	l.stats.appends.Add(uint64(len(recs)))
+	if woken > 0 {
+		l.stats.wakeups.Add(uint64(woken))
+	}
+}
+
 // sequencerLoop implements Scalog-style ordering: locally persisted
 // appends wait for the next cut, at which point the sequencer assigns a
-// contiguous range of global LSNs to the batch.
+// contiguous range of global LSNs to everything pending. All batches in
+// the cut share one vectorized index pass.
 func (l *Log) sequencerLoop() {
 	for {
 		select {
@@ -129,24 +184,25 @@ func (l *Log) sequencerLoop() {
 		case <-l.cfg.Clock.After(l.cfg.OrderingInterval):
 		}
 		l.mu.Lock()
-		batch := l.pending
+		batches := l.pending
 		l.pending = nil
-		results := make([]appendResult, len(batch))
-		for i, p := range batch {
-			if p.conditional && !l.condHoldsLocked(p.condKey, p.condWant) {
-				results[i] = appendResult{err: ErrCondFailed}
-				l.stats.condFailed.Add(1)
-				continue
-			}
-			results[i] = appendResult{lsn: l.commitLocked(p.rec)}
+		total := 0
+		var recs []*Record
+		results := make([][]appendResult, len(batches))
+		for bi := range batches {
+			b := &batches[bi]
+			results[bi] = make([]appendResult, len(b.entries))
+			recs = l.orderLocked(b.entries, results[bi], recs)
+			total += len(b.entries)
 		}
+		l.publishLocked(recs)
 		l.mu.Unlock()
-		if len(batch) > 0 {
+		if total > 0 {
 			l.stats.cuts.Add(1)
-			l.stats.cutBatch.Add(uint64(len(batch)))
+			l.stats.cutBatch.Add(uint64(total))
 		}
-		for i, p := range batch {
-			p.resp <- results[i]
+		for bi := range batches {
+			batches[bi].resp <- results[bi]
 		}
 	}
 }

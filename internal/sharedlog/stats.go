@@ -16,6 +16,9 @@ type logStats struct {
 	cuts     atomic.Uint64 // sequencer cuts that ordered >= 1 append
 	cutBatch atomic.Uint64 // appends ordered through cuts
 
+	batchAppends atomic.Uint64 // AppendBatch calls (group commits)
+	batchRecords atomic.Uint64 // records carried by AppendBatch calls
+
 	wakeups       atomic.Uint64 // waiters woken by commits
 	usefulWakeups atomic.Uint64 // wakeups after which the reader found data
 
@@ -49,6 +52,13 @@ type Stats struct {
 	// mean number of appends ordered per cut (0 in immediate mode).
 	SequencerCuts uint64
 	MeanCutBatch  float64
+
+	// BatchAppends counts AppendBatch group commits; MeanAppendBatch is
+	// the mean number of records per group (0 when callers only ever
+	// append singly). Together with Appends this shows how much of the
+	// write volume rode the batched dataplane.
+	BatchAppends    uint64
+	MeanAppendBatch float64
 
 	// ReaderWakeups counts blocked readers woken by commits;
 	// UsefulWakeups counts wakeups whose reader then found a record (or
@@ -87,6 +97,10 @@ func (l *Log) Stats() Stats {
 	}
 	if s.SequencerCuts > 0 {
 		s.MeanCutBatch = float64(l.stats.cutBatch.Load()) / float64(s.SequencerCuts)
+	}
+	s.BatchAppends = l.stats.batchAppends.Load()
+	if s.BatchAppends > 0 {
+		s.MeanAppendBatch = float64(l.stats.batchRecords.Load()) / float64(s.BatchAppends)
 	}
 	return s
 }

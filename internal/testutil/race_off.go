@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package testutil holds small helpers shared by the packages' tests.
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. Allocation gates consult it: the detector's instrumentation
+// allocates on its own, so testing.AllocsPerRun budgets only hold in
+// non-race builds.
+const RaceEnabled = false

@@ -1,0 +1,84 @@
+// Package wire holds the byte-level plumbing the batched dataplane
+// shares between the engine's record encoder (internal/core) and the
+// Kafka-like log's batched produce path (internal/kafkalog): pooled
+// encode buffers, length-prefixed slice framing, and an arena for
+// coalescing many small defensive copies into few allocations.
+//
+// The point of the pool is that the hot path — encode a record batch,
+// hand the bytes to an append, recycle — should not allocate at steady
+// state. Callers Get a buffer, append their encoding to buf.B, and Put
+// it back once the bytes have been fully consumed (for an append: after
+// the append, including any retries, has returned — the shared log
+// copies payloads on entry, so the buffer is free the moment the call
+// completes).
+package wire
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// Buf is a pooled encode buffer. B is the live encoding; its backing
+// array is recycled across uses.
+type Buf struct {
+	B []byte
+}
+
+// maxPooled caps the capacity of buffers returned to the pool, so one
+// pathological batch does not pin a huge backing array forever.
+const maxPooled = 1 << 20
+
+var bufPool = sync.Pool{
+	New: func() any { return &Buf{B: make([]byte, 0, 1024)} },
+}
+
+// GetBuf returns a pooled buffer with len(B) == 0.
+func GetBuf() *Buf {
+	return bufPool.Get().(*Buf)
+}
+
+// PutBuf recycles b. The caller must not touch b.B afterwards.
+func PutBuf(b *Buf) {
+	if b == nil || cap(b.B) > maxPooled {
+		return
+	}
+	b.B = b.B[:0]
+	bufPool.Put(b)
+}
+
+// AppendBytes32 appends a little-endian uint32 length prefix followed
+// by b — the framing every variable-length field of the engine's batch
+// encoding uses.
+func AppendBytes32(dst, b []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+// Arena coalesces many small copies into chunk-sized allocations. The
+// kafkalog produce path uses one per batch: N key/value copies cost
+// O(batch bytes / chunk) allocations instead of 2N. Returned slices
+// have no spare capacity, so an append on one cannot clobber a
+// neighbor. An Arena is not safe for concurrent use.
+type Arena struct {
+	chunk []byte
+}
+
+const arenaChunk = 4096
+
+// Copy returns a copy of b carved from the arena.
+func (a *Arena) Copy(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	if len(a.chunk) < len(b) {
+		n := arenaChunk
+		if len(b) > n {
+			n = len(b)
+		}
+		a.chunk = make([]byte, n)
+	}
+	c := a.chunk[:len(b):len(b)]
+	a.chunk = a.chunk[len(b):]
+	copy(c, b)
+	return c
+}
