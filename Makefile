@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench bench-compare chaos
+.PHONY: check build vet fmt test race bench bench-compare chaos alloc recovery-smoke
 
 # check is the full gate: build, vet, formatting, unit tests, the
-# race-detector run over the packages with real concurrency, and the
-# short seeded chaos suite.
-check: build vet fmt test race chaos
+# race-detector run over the packages with real concurrency, the
+# short seeded chaos suite, and the recovery smoke.
+check: build vet fmt test race chaos recovery-smoke
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,19 @@ race:
 # zombies, shard crashes, partitions) with exactly-once verification.
 chaos:
 	$(GO) test -race -short -run 'TestChaos|TestGenPlan' ./internal/chaos/ -timeout 300s
+
+# alloc runs the hot-path allocation gates explicitly (they also run as
+# part of `make test`): the write-side batch encoder and the read-side
+# warm cursor NextBatch (0 allocs/record). Must run without -race —
+# race instrumentation allocates.
+alloc:
+	$(GO) test -run 'Alloc' ./internal/sharedlog/ ./internal/core/ -v
+
+# recovery-smoke runs one depth point of the -exp recovery experiment
+# (streaming read plane: batched replay must beat per-record replay on
+# round trips), as a fast sibling of the chaos gate.
+recovery-smoke:
+	$(GO) run ./cmd/impeller-bench -exp recovery -depths 500 -scale 0.02
 
 # bench runs the sharedlog micro-benchmarks (no -race; see results/).
 bench:

@@ -10,6 +10,7 @@
 //	impeller-bench -exp crossover -duration 20s  # checkpointing vs state growth
 //	impeller-bench -exp chaos                  # exactly-once under fault schedules
 //	impeller-bench -exp batching -query 1      # batched dataplane ablation
+//	impeller-bench -exp recovery -depths 2000,10000  # replay round trips, per-record vs batched
 //
 // Absolute numbers depend on the host and the latency calibration; the
 // shapes (who wins, where curves cross) are the reproduction target.
@@ -29,10 +30,11 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment: table2 | fig7 | fig8 | fig9 | table4 | crossover | chaos | batching")
-		rate     = flag.Int("rate", 0, "offered event rate for single-rate experiments (batching); 0 = per-query default")
+		exp      = flag.String("exp", "", "experiment: table2 | fig7 | fig8 | fig9 | table4 | crossover | chaos | batching | recovery")
+		rate     = flag.Int("rate", 0, "offered event rate for single-rate experiments (batching, recovery); 0 = per-query default")
 		query    = flag.Int("query", 0, "NEXMark query (fig7/fig8); 0 = all")
 		rates    = flag.String("rates", "", "comma-separated event rates (events/s)")
+		depths   = flag.String("depths", "", "comma-separated change-log depths for -exp recovery")
 		duration = flag.Duration("duration", 3*time.Second, "measurement duration per point")
 		simulate = flag.Bool("simulate", true, "charge calibrated network/storage latencies")
 		scale    = flag.Float64("scale", 1.0, "scale factor on simulated latencies")
@@ -75,6 +77,8 @@ func main() {
 		err = runChaos(*query, progress())
 	case "batching":
 		err = runBatching(*query, *rate, *duration, *simulate, *scale, progress())
+	case "recovery":
+		err = runRecovery(parseRates(*depths), *rate, *simulate, *scale, progress())
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -225,6 +229,23 @@ func runBatching(query, rate int, duration time.Duration, simulate bool, scale f
 	bench.PrintBatching(os.Stdout, res)
 	if csvOut != nil {
 		return bench.WriteBatchingCSV(csvOut, res)
+	}
+	return nil
+}
+
+func runRecovery(depths []int, rate int, simulate bool, scale float64, progress *os.File) error {
+	points, err := bench.RunRecovery(bench.RecoveryConfig{
+		Depths:   depths,
+		Rate:     rate,
+		Simulate: simulate,
+		Scale:    scale,
+	}, progress)
+	if err != nil {
+		return err
+	}
+	bench.PrintRecovery(os.Stdout, points)
+	if csvOut != nil {
+		return bench.WriteRecoveryCSV(csvOut, points)
 	}
 	return nil
 }

@@ -172,6 +172,12 @@ type ClusterConfig struct {
 	BatchMaxBytes   int
 	BatchLinger     time.Duration
 	BatchWindow     int
+	// ReadBatchRecords is the streaming read plane's batch size: how
+	// many records a task's input cursor (and recovery's replay cursors)
+	// pull per log round trip. 0 selects the default (64); 1 degenerates
+	// to per-record reads with readahead disabled — the ablation
+	// baseline.
+	ReadBatchRecords int
 }
 
 // Cluster is an in-process Impeller deployment: a shared log, a
@@ -261,6 +267,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 			Linger:     cfg.BatchLinger,
 			Window:     cfg.BatchWindow,
 		},
+		ReadBatch: cfg.ReadBatchRecords,
 	}
 	if cfg.EnableGC {
 		c.env.GC = core.NewGCController(c.log)

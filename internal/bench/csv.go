@@ -71,6 +71,12 @@ func WriteFig7CSV(w io.Writer, series []*Fig7Series) error {
 				strconv.FormatUint(p.Log.BatchAppends, 10),
 				fmt.Sprintf("%.2f", p.Log.MeanAppendBatch),
 				strconv.FormatUint(p.Metrics.BatchStalls, 10),
+				strconv.FormatUint(p.Metrics.CursorOpens, 10),
+				strconv.FormatUint(p.Metrics.CursorBatchReads, 10),
+				strconv.FormatUint(p.Metrics.CursorRecords, 10),
+				strconv.FormatUint(p.Metrics.CursorPrefetchHits, 10),
+				strconv.FormatUint(p.Metrics.CursorPrefetchMisses, 10),
+				strconv.FormatUint(p.Metrics.CursorInvalidations, 10),
 			})
 		}
 	}
@@ -78,7 +84,9 @@ func WriteFig7CSV(w io.Writer, series []*Fig7Series) error {
 		[]string{"query", "protocol", "rate_eps", "p50_us", "p99_us", "mean_us", "sent", "received",
 			"log_appends", "log_reads", "cache_hits", "cache_misses",
 			"seq_cuts", "mean_cut_batch", "wakeups", "useful_wakeups",
-			"batch_appends", "mean_append_batch", "batch_stalls"},
+			"batch_appends", "mean_append_batch", "batch_stalls",
+			"cursor_opens", "cursor_batch_reads", "cursor_records",
+			"cursor_prefetch_hits", "cursor_prefetch_misses", "cursor_invalidations"},
 		out)
 }
 
@@ -111,5 +119,28 @@ func WriteTable4CSV(w io.Writer, rows []Table4Row) error {
 	}
 	return writeCSV(w,
 		[]string{"rate_eps", "baseline_recovery_us", "baseline_replayed", "ckpt_recovery_us", "ckpt_replayed", "speedup"},
+		out)
+}
+
+// WriteRecoveryCSV exports the streaming-read-plane recovery experiment
+// (-exp recovery): one row per (depth, read-mode) point.
+func WriteRecoveryCSV(w io.Writer, points []RecoveryPoint) error {
+	var out [][]string
+	for _, p := range points {
+		out = append(out, []string{
+			strconv.Itoa(p.Depth),
+			strconv.FormatUint(p.ChangeDepth, 10),
+			p.Mode,
+			strconv.Itoa(p.ReadBatch),
+			strconv.FormatUint(p.RoundTrips, 10),
+			strconv.FormatUint(p.ReplayRecords, 10),
+			strconv.FormatUint(p.Replayed, 10),
+			us(p.Recovery),
+			us(p.TTFO),
+		})
+	}
+	return writeCSV(w,
+		[]string{"depth", "change_records", "mode", "read_batch", "replay_roundtrips",
+			"replay_records", "replayed_changes", "recovery_us", "ttfo_us"},
 		out)
 }

@@ -49,6 +49,10 @@ type RunConfig struct {
 	BatchMaxBytes   int
 	BatchLinger     time.Duration
 	BatchWindow     int
+	// ReadBatchRecords tunes the streaming read plane; zero selects the
+	// engine default (64 records per cursor fetch). 1 degenerates to
+	// per-record reads with readahead disabled (the ablation baseline).
+	ReadBatchRecords int
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -123,6 +127,7 @@ func RunNexmark(cfg RunConfig) (*RunResult, error) {
 		BatchMaxBytes:        cfg.BatchMaxBytes,
 		BatchLinger:          cfg.BatchLinger,
 		BatchWindow:          cfg.BatchWindow,
+		ReadBatchRecords:     cfg.ReadBatchRecords,
 	})
 	defer cluster.Close()
 

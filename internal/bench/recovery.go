@@ -1,0 +1,261 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"impeller"
+	"impeller/internal/nexmark"
+)
+
+// -exp recovery: the streaming read plane's recovery experiment. A
+// stateful NEXMark Q8 query builds a change log to a target depth, the
+// whole query is killed, and the restarted tasks replay the change log
+// via recovery cursors. Each depth point is measured twice: once with
+// per-record reads (ReadBatchRecords=1, readahead disabled — the
+// pre-cursor behavior) and once with the batched default. The point of
+// the experiment is the round-trip count: replay cost is linear in log
+// round trips (paper §3.3.4 makes recovery time a headline metric), and
+// batching divides the round trips by the realized batch size.
+//
+// Reported per point: replay round trips (the recovery cursors' fetch
+// count), the records those fetches carried, change records applied,
+// the slowest task's recovery duration, and time-to-first-output — the
+// wall-clock interval from the kill to the first fresh record at the
+// output sink, with a trickle load offered during recovery so there is
+// an output to observe.
+
+// RecoveryConfig configures the recovery experiment.
+type RecoveryConfig struct {
+	// Depths are the target change-log depths (change records written
+	// before the kill). The acceptance point is 10k.
+	Depths []int
+	// Rate is the build-phase offered load in events/s.
+	Rate int
+	// Simulate charges calibrated log latencies; Scale scales them so a
+	// deep replay fits in a test run.
+	Simulate bool
+	Scale    float64
+	// Parallelism is the per-stage task count.
+	Parallelism int
+	// BuildTimeout bounds the build phase per point.
+	BuildTimeout time.Duration
+}
+
+func (c RecoveryConfig) withDefaults() RecoveryConfig {
+	if len(c.Depths) == 0 {
+		c.Depths = []int{2000, 10000}
+	}
+	if c.Rate <= 0 {
+		c.Rate = 8000
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 2
+	}
+	if c.BuildTimeout <= 0 {
+		c.BuildTimeout = 90 * time.Second
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	return c
+}
+
+// RecoveryPoint is one (depth, read-mode) measurement.
+type RecoveryPoint struct {
+	Depth       int    // requested change-log depth
+	ChangeDepth uint64 // actual change records at the kill
+	Mode        string // "per-record" or "batched"
+	ReadBatch   int    // effective cursor batch size
+	// RoundTrips counts the recovery cursors' batched fetches — the log
+	// round trips replay actually paid. ReplayRecords is the records
+	// they carried (ReplayRecords/RoundTrips = realized read batch).
+	RoundTrips    uint64
+	ReplayRecords uint64
+	// Replayed counts change records applied to restored state.
+	Replayed uint64
+	// Recovery is the slowest task's recovery duration.
+	Recovery time.Duration
+	// TTFO is kill-to-first-fresh-output at the sink.
+	TTFO time.Duration
+}
+
+// RunRecovery measures every depth in both read modes.
+func RunRecovery(cfg RecoveryConfig, progress io.Writer) ([]RecoveryPoint, error) {
+	cfg = cfg.withDefaults()
+	var points []RecoveryPoint
+	for _, depth := range cfg.Depths {
+		for _, readBatch := range []int{1, 0} {
+			p, err := measureRecoveryPoint(cfg, depth, readBatch)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, *p)
+			if progress != nil {
+				fmt.Fprintf(progress, "  depth=%-7d mode=%-10s roundtrips=%-6d replayed=%-6d recovery=%-10v ttfo=%v\n",
+					p.Depth, p.Mode, p.RoundTrips, p.Replayed, p.Recovery.Round(time.Millisecond), p.TTFO.Round(time.Millisecond))
+			}
+		}
+	}
+	return points, nil
+}
+
+func measureRecoveryPoint(cfg RecoveryConfig, depth, readBatch int) (*RecoveryPoint, error) {
+	cluster := impeller.NewCluster(impeller.ClusterConfig{
+		Protocol:           impeller.ProgressMarker,
+		CommitInterval:     100 * time.Millisecond,
+		DefaultParallelism: cfg.Parallelism,
+		IngressWriters:     2,
+		SimulateLatency:    cfg.Simulate,
+		LatencyScale:       cfg.Scale,
+		Seed:               7,
+		ReadBatchRecords:   readBatch,
+	})
+	defer cluster.Close()
+
+	topo, err := nexmark.BuildOpts(8, nexmark.Options{PerUpdateWindows: true})
+	if err != nil {
+		return nil, err
+	}
+	app, err := cluster.Run(topo)
+	if err != nil {
+		return nil, err
+	}
+	defer app.Stop()
+	mgr := app.Manager()
+	mgr.SetTimeouts(300*time.Millisecond, 50*time.Millisecond)
+
+	// The sink watches for the first output that lands after the kill.
+	// The pipeline is drained before the kill, so any record observed
+	// after it is fresh post-recovery output.
+	var killedAt, firstOut atomic.Int64
+	app.Sink(nexmark.OutputStream(8), false, func(_ impeller.Record, _ impeller.TaskID, now time.Time) {
+		if killedAt.Load() == 0 {
+			return
+		}
+		firstOut.CompareAndSwap(0, now.UnixNano())
+	})
+
+	// Build phase: offer load until the change log is deep enough.
+	gen := nexmark.NewGenerator(11)
+	perTick := cfg.Rate / 100 // 10 ms ticks
+	if perTick == 0 {
+		perTick = 1
+	}
+	seq := 0
+	send := func(n int) error {
+		for i := 0; i < n; i++ {
+			now := time.Now().UnixMicro()
+			ev := gen.Next(now)
+			seq++
+			if err := app.Send(nexmark.EventStream, []byte(fmt.Sprint(seq)), ev.Payload, now); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	buildDeadline := time.Now().Add(cfg.BuildTimeout)
+	for app.Metrics().ChangeRecords < uint64(depth) {
+		if time.Now().After(buildDeadline) {
+			return nil, fmt.Errorf("bench: change log reached only %d/%d records in %v",
+				app.Metrics().ChangeRecords, depth, cfg.BuildTimeout)
+		}
+		if err := send(perTick); err != nil {
+			return nil, err
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Drain: let in-flight work commit and the sink catch up, so the
+	// TTFO observation below cannot be satisfied by pre-kill output.
+	time.Sleep(600 * time.Millisecond)
+
+	before := app.Metrics()
+	p := &RecoveryPoint{Depth: depth, ChangeDepth: before.ChangeRecords}
+	if readBatch == 1 {
+		p.Mode, p.ReadBatch = "per-record", 1
+	} else {
+		p.Mode, p.ReadBatch = "batched", 64
+	}
+
+	killedAt.Store(time.Now().UnixNano())
+	mgr.KillAll()
+
+	// Trickle load during recovery so the restarted query has fresh
+	// input to turn into the first post-recovery output.
+	trickleDone := make(chan struct{})
+	defer close(trickleDone)
+	go func() {
+		for firstOut.Load() == 0 {
+			select {
+			case <-trickleDone:
+				return
+			default:
+			}
+			_ = send(20)
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	// Wait for every task to restart, then for the first fresh output.
+	waitDeadline := time.Now().Add(120 * time.Second)
+	for {
+		allRestarted := true
+		for _, id := range mgr.TaskIDs() {
+			if mgr.Restarts(id) == 0 {
+				allRestarted = false
+				break
+			}
+		}
+		if allRestarted {
+			break
+		}
+		if time.Now().After(waitDeadline) {
+			return nil, fmt.Errorf("bench: tasks never restarted")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for firstOut.Load() == 0 {
+		if time.Now().After(waitDeadline) {
+			return nil, fmt.Errorf("bench: no output after recovery")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Let recovery counters settle (RecoveryNanos stores on completion).
+	time.Sleep(300 * time.Millisecond)
+
+	after := app.Metrics()
+	p.RoundTrips = after.RecoveryBatchReads - before.RecoveryBatchReads
+	p.ReplayRecords = after.RecoveryBatchReadsRecords - before.RecoveryBatchReadsRecords
+	p.Replayed = after.RecoveredChanges - before.RecoveredChanges
+	for _, id := range mgr.TaskIDs() {
+		if m := mgr.TaskMetrics(id); m != nil {
+			if d := time.Duration(m.RecoveryNanos.Load()); d > p.Recovery {
+				p.Recovery = d
+			}
+		}
+	}
+	p.TTFO = time.Duration(firstOut.Load() - killedAt.Load())
+	return p, nil
+}
+
+// PrintRecovery renders the points with the per-record/batched
+// round-trip ratio per depth.
+func PrintRecovery(w io.Writer, points []RecoveryPoint) {
+	fmt.Fprintln(w, "Recovery: change-log replay round trips, per-record vs batched cursor reads (NEXMark Q8)")
+	fmt.Fprintf(w, "%-8s | %-10s | %-10s | %-12s | %-9s | %-10s | %-10s\n",
+		"depth", "mode", "roundtrips", "replay-recs", "replayed", "recovery", "ttfo")
+	perRecord := map[int]uint64{}
+	for _, p := range points {
+		fmt.Fprintf(w, "%-8d | %-10s | %-10d | %-12d | %-9d | %-10v | %-10v\n",
+			p.Depth, p.Mode, p.RoundTrips, p.ReplayRecords, p.Replayed,
+			p.Recovery.Round(time.Millisecond), p.TTFO.Round(time.Millisecond))
+		if p.Mode == "per-record" {
+			perRecord[p.Depth] = p.RoundTrips
+		} else if base := perRecord[p.Depth]; base > 0 && p.RoundTrips > 0 {
+			fmt.Fprintf(w, "%-8s   round-trip reduction at depth %d: %.1fx\n",
+				"", p.Depth, float64(base)/float64(p.RoundTrips))
+		}
+	}
+}

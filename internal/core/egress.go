@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"time"
 
@@ -71,9 +72,11 @@ func (s *Sink) tags() []sharedlog.Tag {
 	return tags
 }
 
-// Run consumes until ctx is done. Transient log faults (a crashed
-// shard, a partition) are waited out with backoff instead of killing
-// the consumer — records are not lost, only delayed.
+// Run consumes until ctx is done, streaming the partition substreams
+// through one cursor (batched reads, like the task input loop).
+// Transient log faults (a crashed shard, a partition) are waited out
+// with backoff instead of killing the consumer — records are not lost,
+// only delayed.
 func (s *Sink) Run(ctx context.Context) error {
 	tags := s.tags()
 	tagIndex := make(map[sharedlog.Tag]int, len(tags))
@@ -81,15 +84,19 @@ func (s *Sink) Run(ctx context.Context) error {
 		tagIndex[t] = i
 	}
 	retry := newRetrier(s.env, "", nil)
-	var cursor LSN
+	readBatch := s.env.ReadBatch
+	if readBatch <= 0 {
+		readBatch = DefaultReadBatch
+	}
+	cur := s.env.Log.OpenCursor(tags, 0)
 	for {
-		rec, err := s.env.Log.ReadNextAnyBlocking(ctx, tags, cursor)
+		recs, err := cur.NextBatchBlocking(ctx, readBatch)
 		if err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			if err == sharedlog.ErrTrimmed {
-				cursor = s.env.Log.TrimHorizon()
+			if errors.Is(err, sharedlog.ErrCursorInvalidated) {
+				cur.Seek(s.env.Log.TrimHorizon())
 				continue
 			}
 			if sharedlog.IsRetryable(err) {
@@ -100,36 +107,37 @@ func (s *Sink) Run(ctx context.Context) error {
 			}
 			return err
 		}
-		cursor = rec.LSN + 1
-		b, err := DecodeBatch(rec.Payload)
-		if err != nil {
-			return err
-		}
-		if b.Kind.isControl() {
-			if s.gated {
-				if err := s.observe(b, rec.LSN); err != nil {
-					return err
+		for _, rec := range recs {
+			b, err := DecodeBatch(rec.Payload)
+			if err != nil {
+				return err
+			}
+			if b.Kind.isControl() {
+				if s.gated {
+					if err := s.observe(b, rec.LSN); err != nil {
+						return err
+					}
+					s.drain(tags)
 				}
-				s.drain(tags)
+				continue
 			}
-			continue
-		}
-		if b.Kind != KindData && b.Kind != KindSource {
-			continue
-		}
-		port := 0
-		for _, t := range rec.Tags {
-			if i, ok := tagIndex[t]; ok {
-				port = i
-				break
+			if b.Kind != KindData && b.Kind != KindSource {
+				continue
 			}
+			port := 0
+			for _, t := range rec.Tags {
+				if i, ok := tagIndex[t]; ok {
+					port = i
+					break
+				}
+			}
+			if !s.gated {
+				s.deliver(b)
+				continue
+			}
+			s.queue = append(s.queue, queuedBatch{lsn: rec.LSN, port: port, batch: b})
+			s.drain(tags)
 		}
-		if !s.gated {
-			s.deliver(b)
-			continue
-		}
-		s.queue = append(s.queue, queuedBatch{lsn: rec.LSN, port: port, batch: b})
-		s.drain(tags)
 	}
 }
 

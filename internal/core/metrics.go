@@ -1,6 +1,10 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"impeller/internal/sharedlog"
+)
 
 // TaskMetrics counts a task's work; all fields are safe for concurrent
 // reads while the task runs. The benchmark harness aggregates these per
@@ -53,6 +57,15 @@ type TaskMetrics struct {
 	// CheckpointDecodeFailures counts corrupt marker checkpoints that
 	// forced recovery to fall back to full change-log replay.
 	CheckpointDecodeFailures atomic.Uint64
+	// Cursor counts the streaming read plane's activity on the task's
+	// input loop: Cursor.BatchReads is the read round trips the hot
+	// path paid, Cursor.Records the records they carried (the dual of
+	// AppendBatches / BatchedRecords on the write side).
+	Cursor sharedlog.CursorStats
+	// RecoveryCursor isolates the cursor activity of recovery's replay
+	// phase, so the recovery experiment can count replay round trips
+	// without input-loop noise.
+	RecoveryCursor sharedlog.CursorStats
 }
 
 // QueryMetrics aggregates counters across a query's current tasks.
@@ -62,6 +75,13 @@ type QueryMetrics struct {
 	AppendBatches, BatchedRecords, BatchStalls               uint64
 	CommitStalls, ChangeRecords, RecoveredChanges            uint64
 	Retries, CheckpointDecodeFailures                        uint64
+
+	// Streaming read plane (input loops + recovery replay combined,
+	// except the Recovery* pair, which is the replay phase alone).
+	CursorOpens, CursorBatchReads, CursorRecords  uint64
+	CursorPrefetchHits, CursorPrefetchMisses      uint64
+	CursorInvalidations                           uint64
+	RecoveryBatchReads, RecoveryBatchReadsRecords uint64
 }
 
 // Add folds one task's metrics into the aggregate.
@@ -82,4 +102,12 @@ func (q *QueryMetrics) Add(m *TaskMetrics) {
 	q.RecoveredChanges += m.RecoveredChanges.Load()
 	q.Retries += m.Retries.Load()
 	q.CheckpointDecodeFailures += m.CheckpointDecodeFailures.Load()
+	q.CursorOpens += m.Cursor.Opens.Load() + m.RecoveryCursor.Opens.Load()
+	q.CursorBatchReads += m.Cursor.BatchReads.Load() + m.RecoveryCursor.BatchReads.Load()
+	q.CursorRecords += m.Cursor.Records.Load() + m.RecoveryCursor.Records.Load()
+	q.CursorPrefetchHits += m.Cursor.PrefetchHits.Load() + m.RecoveryCursor.PrefetchHits.Load()
+	q.CursorPrefetchMisses += m.Cursor.PrefetchMisses.Load() + m.RecoveryCursor.PrefetchMisses.Load()
+	q.CursorInvalidations += m.Cursor.Invalidations.Load() + m.RecoveryCursor.Invalidations.Load()
+	q.RecoveryBatchReads += m.RecoveryCursor.BatchReads.Load()
+	q.RecoveryBatchReadsRecords += m.RecoveryCursor.Records.Load()
 }

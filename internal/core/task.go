@@ -20,6 +20,11 @@ const DefaultFlushBytes = 128 << 10
 // in-memory batch buffer before being appended.
 const DefaultFlushInterval = 4 * time.Millisecond
 
+// DefaultReadBatch is how many records a task's input cursor pulls per
+// log round trip when Env.ReadBatch is 0 — the read-side counterpart
+// of BatchConfig.MaxRecords.
+const DefaultReadBatch = 64
+
 // ErrZombie reports that this task instance was fenced: a newer
 // instance exists and the shared log rejected its progress marker, so
 // the instance must terminate (paper §3.4).
@@ -44,6 +49,8 @@ type Task struct {
 	inputTags []sharedlog.Tag
 	tagPort   map[sharedlog.Tag]int
 	cursor    LSN
+	inCursor  *sharedlog.Cursor // streaming reader over inputTags
+	readBatch int               // records per cursor fetch
 	queue     []queuedBatch
 	tracker   commitTracker
 	lastSeq   map[TaskID]uint64
@@ -176,6 +183,10 @@ func NewTask(stage *Stage, sub int, instance uint64, env *Env, opts TaskOptions)
 		t.batchCfg = opts.Batch
 	}
 	t.batchCfg = t.batchCfg.withDefaults()
+	t.readBatch = env.ReadBatch
+	if t.readBatch <= 0 {
+		t.readBatch = DefaultReadBatch
+	}
 
 	switch env.Protocol {
 	case ProtoProgressMarker:
@@ -366,6 +377,12 @@ func (t *Task) Run(ctx context.Context) error {
 		return fmt.Errorf("task %s: open: %w", t.ID, err)
 	}
 
+	// The input hot path is a streaming cursor over every input tag:
+	// one log round trip serves up to readBatch records (plus bounded
+	// readahead) where the old loop paid one ReadNextAnyBlocking per
+	// record.
+	t.inCursor = t.log.OpenCursorOpts(t.inputTags, t.cursor, t.inputCursorOpts())
+
 	clock := t.env.Clock
 	nextFlush := clock.Now().Add(DefaultFlushInterval)
 	nextCommit := clock.Now().Add(t.env.CommitInterval)
@@ -389,26 +406,28 @@ func (t *Task) Run(ctx context.Context) error {
 		}
 		if wait := deadline.Sub(now); wait > 0 {
 			rctx, cancel := context.WithTimeout(ctx, wait)
-			rec, err := t.log.ReadNextAnyBlocking(rctx, t.inputTags, t.cursor)
+			recs, err := t.inCursor.NextBatchBlocking(rctx, t.readBatch)
 			cancel()
 			switch {
-			case err == nil && rec != nil:
-				if err := t.ingest(rec); err != nil {
+			case err == nil && len(recs) > 0:
+				if err := t.ingestBatch(recs); err != nil {
 					return fmt.Errorf("task %s: %w", t.ID, err)
 				}
 			case errors.Is(err, context.DeadlineExceeded):
 				// fall through to flush/commit
 			case errors.Is(err, context.Canceled):
 				return ctx.Err()
-			case errors.Is(err, sharedlog.ErrTrimmed):
+			case errors.Is(err, sharedlog.ErrCursorInvalidated):
 				// Our resume point was garbage-collected along with
 				// everything we had consumed; skip to the horizon.
 				t.cursor = t.log.TrimHorizon()
+				t.inCursor.Seek(t.cursor)
 			case sharedlog.IsRetryable(err):
 				// Transient: a storage shard is down or we are cut off
 				// from the log. Back off briefly and re-poll; the
 				// deadline checks below still run, so commits are not
-				// starved while the fault lasts.
+				// starved while the fault lasts. The cursor stays valid
+				// across transient errors.
 				t.Metrics.Retries.Add(1)
 				if !t.retry.sleep(ctx, t.retry.backoff(0)) {
 					return ctx.Err()
@@ -432,44 +451,83 @@ func (t *Task) Run(ctx context.Context) error {
 	}
 }
 
-// ingest handles one shared-log record: control records update the
-// tracker (or barrier alignment), data records enter the queue, and
-// then the queue drains as far as classification allows (paper §3.3.3).
-func (t *Task) ingest(rec *sharedlog.Record) error {
-	t.cursor = rec.LSN + 1
-	b, err := DecodeBatch(rec.Payload)
-	if err != nil {
-		return err
+// inputCursorOpts builds the input cursor's options from the task's
+// read-batch setting: readBatch 1 is the per-record ablation, so
+// readahead is disabled to keep it a faithful point-read baseline.
+func (t *Task) inputCursorOpts() sharedlog.CursorOptions {
+	opts := sharedlog.CursorOptions{Stats: &t.Metrics.Cursor}
+	if t.readBatch == 1 {
+		opts.Prefetch = -1
+	} else {
+		opts.Prefetch = 3 * t.readBatch
 	}
-	port := t.portFor(rec)
+	return opts
+}
 
-	if b.Kind.isControl() {
-		if b.Kind == KindBarrier && t.align != nil {
-			return t.onBarrier(b, rec.LSN)
-		}
-		if err := t.observeControl(b, rec.LSN); err != nil {
+// ingestBatch handles one cursor read batch, in LSN order: control
+// records update the tracker (or barrier alignment), data records enter
+// the queue, and the queue drains as far as classification allows
+// (paper §3.3.3).
+//
+// Batching does not move the marker boundary: classification state only
+// changes when a control record is observed, so draining once per run
+// of data records is equivalent to the old drain-after-every-record —
+// and each control record still drains the pending run first, then is
+// processed at its exact LSN position. The impellerdebug marker-order
+// asserts hold unchanged.
+func (t *Task) ingestBatch(recs []*sharedlog.Record) error {
+	pendingDrain := false
+	for _, rec := range recs {
+		t.cursor = rec.LSN + 1
+		b, err := DecodeBatch(rec.Payload)
+		if err != nil {
 			return err
 		}
-		return t.drainQueue()
-	}
+		port := t.portFor(rec)
 
-	switch b.Kind {
-	case KindSource, KindData:
-		if t.align != nil && t.align.blocked(b.Producer) {
-			// Aligned checkpoint in progress: post-barrier records from
-			// producers whose barrier already arrived wait out the
-			// alignment (Flink's channel blocking).
-			t.align.buffer(queuedBatch{lsn: rec.LSN, port: port, batch: b})
-			return nil
+		if b.Kind.isControl() {
+			if pendingDrain {
+				if err := t.drainQueue(); err != nil {
+					return err
+				}
+				pendingDrain = false
+			}
+			if b.Kind == KindBarrier && t.align != nil {
+				if err := t.onBarrier(b, rec.LSN); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := t.observeControl(b, rec.LSN); err != nil {
+				return err
+			}
+			if err := t.drainQueue(); err != nil {
+				return err
+			}
+			continue
 		}
-		t.queue = append(t.queue, queuedBatch{lsn: rec.LSN, port: port, batch: b})
-		t.Metrics.Buffered.Add(uint64(len(b.Records)))
-		return t.drainQueue()
-	default:
-		// Change-log, offset, and txn-log records carry our own tags
-		// only; another task's never reach us. Ignore defensively.
-		return nil
+
+		switch b.Kind {
+		case KindSource, KindData:
+			if t.align != nil && t.align.blocked(b.Producer) {
+				// Aligned checkpoint in progress: post-barrier records
+				// from producers whose barrier already arrived wait out
+				// the alignment (Flink's channel blocking).
+				t.align.buffer(queuedBatch{lsn: rec.LSN, port: port, batch: b})
+				continue
+			}
+			t.queue = append(t.queue, queuedBatch{lsn: rec.LSN, port: port, batch: b})
+			t.Metrics.Buffered.Add(uint64(len(b.Records)))
+			pendingDrain = true
+		default:
+			// Change-log, offset, and txn-log records carry our own tags
+			// only; another task's never reach us. Ignore defensively.
+		}
 	}
+	if pendingDrain {
+		return t.drainQueue()
+	}
+	return nil
 }
 
 func (t *Task) observeControl(b *Batch, lsn LSN) error {

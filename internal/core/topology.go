@@ -186,6 +186,11 @@ type Env struct {
 	// ingress group-commit path); the zero value selects the defaults.
 	// MaxRecords: 1 disables coalescing for ablations.
 	Batch BatchConfig
+	// ReadBatch is the streaming read plane's batch size: how many
+	// records a task's input cursor (and recovery's replay cursors) pull
+	// per log round trip. 0 selects DefaultReadBatch; 1 degenerates to
+	// per-record reads with readahead disabled (the ablation baseline).
+	ReadBatch int
 	// Seed fixes the retry jitter stream (0 selects a fixed default).
 	Seed uint64
 

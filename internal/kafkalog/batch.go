@@ -1,6 +1,7 @@
 package kafkalog
 
 import (
+	"context"
 	"fmt"
 
 	"impeller/internal/wire"
@@ -67,6 +68,85 @@ func (p *Producer) SendBatch(topic string, part int, msgs []KV) (Offset, error) 
 	}
 	p.c.chargeProduce()
 	return pp.appendBatch(msgs, p.pid, p.epoch, statePending, p.txnID), nil
+}
+
+// FetchBatch returns up to max consumable messages at or after off
+// under the given isolation — the read-side dual of ProduceBatch, and
+// the baseline-parity twin of the shared log's Cursor.NextBatch: one
+// fetch latency charge and one partition lock acquisition cover the
+// whole batch. A ReadCommitted fetch stops at the last stable offset
+// (an open transaction's first pending message), exactly like the
+// single-message path; control and aborted messages are skipped. An
+// empty (non-nil-error) result means nothing is consumable yet.
+func (c *Cluster) FetchBatch(topic string, p int, off Offset, iso Isolation, max int) ([]*Message, error) {
+	part, err := c.partition(topic, p)
+	if err != nil {
+		return nil, err
+	}
+	c.chargeFetch()
+	return part.fetchBatch(off, iso, max), nil
+}
+
+// FetchBatchBlocking behaves like FetchBatch but waits until at least
+// one message is consumable, ctx expires, or the cluster closes.
+func (c *Cluster) FetchBatchBlocking(ctx context.Context, topic string, p int, off Offset, iso Isolation, max int) ([]*Message, error) {
+	part, err := c.partition(topic, p)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		// Register interest first, then re-check: a message that lands
+		// after the fetch closes exactly the grabbed channel.
+		ch := part.notifyCh()
+		if ms := part.fetchBatch(off, iso, max); len(ms) > 0 {
+			c.chargeFetch()
+			return ms, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-c.done:
+			return nil, ErrClusterClosed
+		case <-ch:
+		}
+	}
+}
+
+// fetchBatch scans forward from off under one lock acquisition,
+// applying the same per-message isolation rules as fetch. Messages are
+// block-copied so callers never alias partition-internal state.
+func (p *partition) fetchBatch(off Offset, iso Isolation, max int) []*Message {
+	if max <= 0 {
+		max = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var block []Message
+	var out []*Message
+	for i := int(off); i >= 0 && i < len(p.msgs) && len(out) < max; i++ {
+		m := p.msgs[i]
+		switch iso {
+		case ReadUncommitted:
+			if m.state == stateControl {
+				continue
+			}
+		case ReadCommitted:
+			switch m.state {
+			case statePending:
+				// Last stable offset: the batch may not pass an open
+				// transaction's first message, even mid-batch.
+				return out
+			case stateAborted, stateControl:
+				continue
+			}
+		}
+		if block == nil {
+			block = make([]Message, 0, max)
+		}
+		block = append(block, *m)
+		out = append(out, &block[len(block)-1])
+	}
+	return out
 }
 
 // appendBatch appends msgs under one lock acquisition and wakes

@@ -1,9 +1,22 @@
 package kafkalog
 
 import (
+	"context"
 	"fmt"
 	"testing"
+	"time"
+
+	"impeller/internal/sim"
 )
+
+// sleepRecorder is a clock that records Sleep charges instead of
+// blocking, so latency-accounting tests stay deterministic.
+type sleepRecorder struct {
+	sim.RealClock
+	slept time.Duration
+}
+
+func (c *sleepRecorder) Sleep(d time.Duration) { c.slept += d }
 
 func TestProduceBatchDenseOffsetsAndContents(t *testing.T) {
 	c := newTestCluster(t)
@@ -133,6 +146,199 @@ func TestSendBatchRegistersPartitionOnce(t *testing.T) {
 	}
 	if m, _ := c.Fetch("t", 0, 0, ReadCommitted); m != nil {
 		t.Fatal("aborted batch visible to read-committed consumer")
+	}
+}
+
+func TestFetchBatchEquivalentToSingles(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	msgs := make([]KV, 17)
+	for i := range msgs {
+		msgs[i] = KV{Key: []byte(fmt.Sprintf("k%d", i)), Value: []byte(fmt.Sprintf("v%d", i))}
+	}
+	if _, err := c.ProduceBatch("t", 0, msgs); err != nil {
+		t.Fatal(err)
+	}
+	for _, iso := range []Isolation{ReadUncommitted, ReadCommitted} {
+		var batched []*Message
+		off := Offset(0)
+		for {
+			ms, err := c.FetchBatch("t", 0, off, iso, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ms) == 0 {
+				break
+			}
+			if len(ms) > 5 {
+				t.Fatalf("batch of %d, cap 5", len(ms))
+			}
+			batched = append(batched, ms...)
+			off = ms[len(ms)-1].Offset + 1
+		}
+		var singles []*Message
+		off = 0
+		for {
+			m, err := c.Fetch("t", 0, off, iso)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m == nil {
+				break
+			}
+			singles = append(singles, m)
+			off = m.Offset + 1
+		}
+		if len(batched) != len(singles) {
+			t.Fatalf("iso %v: batched %d msgs, singles %d", iso, len(batched), len(singles))
+		}
+		for i := range singles {
+			if batched[i].Offset != singles[i].Offset ||
+				string(batched[i].Key) != string(singles[i].Key) ||
+				string(batched[i].Value) != string(singles[i].Value) {
+				t.Fatalf("iso %v: message %d diverges: %+v vs %+v", iso, i, batched[i], singles[i])
+			}
+		}
+	}
+}
+
+func TestFetchBatchStopsAtLastStableOffset(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ProduceBatch("t", 0, []KV{{Value: []byte("a")}, {Value: []byte("b")}}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.InitProducer("txn-lso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.SendBatch("t", 0, []KV{{Value: []byte("pending")}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ProduceBatch("t", 0, []KV{{Value: []byte("c")}}); err != nil {
+		t.Fatal(err)
+	}
+	// Read-committed: the batch must stop before the open transaction
+	// even though max would reach past it.
+	ms, err := c.FetchBatch("t", 0, 0, ReadCommitted, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || string(ms[0].Value) != "a" || string(ms[1].Value) != "b" {
+		t.Fatalf("read-committed batch = %d msgs, want 2 (a,b)", len(ms))
+	}
+	// Read-uncommitted sees through the transaction.
+	ms, err = c.FetchBatch("t", 0, 0, ReadUncommitted, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("read-uncommitted batch = %d msgs, want 4", len(ms))
+	}
+	// Commit unblocks the stable-offset stop.
+	if _, err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	ms, err = c.FetchBatch("t", 0, 0, ReadCommitted, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 || string(ms[3].Value) != "c" {
+		t.Fatalf("post-commit batch = %d msgs, want 4 ending in c", len(ms))
+	}
+}
+
+func TestFetchBatchOneChargePerBatch(t *testing.T) {
+	clock := &sleepRecorder{}
+	lat := 2 * time.Millisecond
+	c := NewCluster(Config{FetchLatency: sim.FixedLatency(lat), Clock: clock})
+	defer c.Close()
+	if err := c.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	msgs := make([]KV, 12)
+	for i := range msgs {
+		msgs[i] = KV{Value: []byte{byte(i)}}
+	}
+	if _, err := c.ProduceBatch("t", 0, msgs); err != nil {
+		t.Fatal(err)
+	}
+	clock.slept = 0
+	off := Offset(0)
+	fetches := 0
+	for {
+		ms, err := c.FetchBatch("t", 0, off, ReadCommitted, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ms) == 0 {
+			break
+		}
+		fetches++
+		off = ms[len(ms)-1].Offset + 1
+	}
+	// 12 messages / 4 per batch = 3 charged fetches + 1 empty probe.
+	if fetches != 3 {
+		t.Fatalf("consumed in %d fetches, want 3", fetches)
+	}
+	if want := 4 * lat; clock.slept != want {
+		t.Fatalf("slept %v, want %v (one charge per fetch)", clock.slept, want)
+	}
+}
+
+func TestFetchBatchBlockingWakes(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		ms  []*Message
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		ms, err := c.FetchBatchBlocking(context.Background(), "t", 0, 0, ReadCommitted, 8)
+		done <- result{ms, err}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case r := <-done:
+		t.Fatalf("blocking fetch returned early: %d msgs, %v", len(r.ms), r.err)
+	default:
+	}
+	if _, err := c.ProduceBatch("t", 0, []KV{{Value: []byte("x")}, {Value: []byte("y")}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-done:
+		if r.err != nil || len(r.ms) != 2 {
+			t.Fatalf("woken fetch = %d msgs, %v; want 2", len(r.ms), r.err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocking fetch not woken by produce")
+	}
+	// Context cancellation unblocks an idle fetch.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		_, err := c.FetchBatchBlocking(ctx, "t", 0, 100, ReadCommitted, 8)
+		done <- result{nil, err}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case r := <-done:
+		if r.err != context.Canceled {
+			t.Fatalf("canceled fetch err = %v", r.err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled fetch did not return")
 	}
 }
 

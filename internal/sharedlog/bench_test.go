@@ -250,3 +250,140 @@ func BenchmarkBlockingFanOut(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCursorHotTag measures the streaming hot path: one cursor
+// draining one hot tag in batches of 64. Compare ns/record against
+// BenchmarkReadNextHot for the per-record index/dispatch overhead a
+// batch amortizes; allocs/op must stay 0 (the cursor alloc gate).
+func BenchmarkCursorHotTag(b *testing.B) {
+	l := Open(Config{})
+	defer l.Close()
+	payload := make([]byte, 128)
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		if _, err := l.Append([]Tag{"hot"}, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cur := l.OpenCursorOpts([]Tag{"hot"}, 0, CursorOptions{Prefetch: -1})
+	records := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs, err := cur.NextBatch(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(recs) == 0 {
+			cur.Seek(0)
+			continue
+		}
+		records += len(recs)
+	}
+	if records > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(records), "ns/record")
+	}
+}
+
+// BenchmarkCursorFanout measures many concurrent cursors merging the
+// same four substreams — the task-per-core read pattern. Each parallel
+// worker owns its cursor; the shared state under contention is the
+// index's read locks and the lock-free store.
+func BenchmarkCursorFanout(b *testing.B) {
+	l := Open(Config{})
+	defer l.Close()
+	payload := make([]byte, 128)
+	tags := []Tag{"in/0", "in/1", "in/2", "in/3"}
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		if _, err := l.Append([]Tag{tags[i%len(tags)]}, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		cur := l.OpenCursorOpts(tags, 0, CursorOptions{Prefetch: 192})
+		for pb.Next() {
+			recs, err := cur.NextBatch(64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(recs) == 0 {
+				cur.Seek(0)
+			}
+		}
+	})
+}
+
+// BenchmarkReplayDepth is the recovery shape under calibrated latency
+// (scaled like BenchmarkAppendLatencyAmortization): replay a 2048-deep
+// change log once per iteration, per-record reads vs a prefetching
+// cursor. The per-record ns gap is the round-trip amortization the
+// -exp recovery experiment measures end to end.
+func BenchmarkReplayDepth(b *testing.B) {
+	const depth = 2048
+	open := func() *Log {
+		l := Open(Config{
+			ReadLatency: sim.Scale{M: sim.DefaultBokiLatency(sim.NewRand(2).Fork()), F: 0.02},
+		})
+		payload := make([]byte, 128)
+		entries := make([]AppendEntry, 64)
+		for i := range entries {
+			entries[i] = AppendEntry{Tags: []Tag{"change"}, Payload: payload}
+		}
+		for i := 0; i < depth; i += len(entries) {
+			if _, err := l.AppendBatch(entries); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return l
+	}
+	b.Run("singles", func(b *testing.B) {
+		l := open()
+		defer l.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var cursor LSN
+			got := 0
+			for {
+				rec, err := l.ReadNext("change", cursor)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rec == nil {
+					break
+				}
+				cursor = rec.LSN + 1
+				got++
+			}
+			if got != depth {
+				b.Fatalf("replayed %d, want %d", got, depth)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*depth), "ns/record")
+	})
+	b.Run("cursor", func(b *testing.B) {
+		l := open()
+		defer l.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cur := l.OpenCursor([]Tag{"change"}, 0)
+			got := 0
+			for {
+				recs, err := cur.NextBatch(64)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(recs) == 0 {
+					break
+				}
+				got += len(recs)
+			}
+			if got != depth {
+				b.Fatalf("replayed %d, want %d", got, depth)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*depth), "ns/record")
+	})
+}

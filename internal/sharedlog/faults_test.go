@@ -113,3 +113,75 @@ func TestAppendSequencerDelaySpike(t *testing.T) {
 		t.Fatalf("append charged %v, want >= 2ms spike", clock.slept)
 	}
 }
+
+// TestReadPrevUsesWarmedCache verifies the recovery read-path fix:
+// ReadPrev now resolves and serves through the same path as readNext,
+// so a record already pulled by a forward read is a client-cache hit
+// that charges no read latency. The old implementation bypassed the
+// cache and charged the read latency unconditionally on top of the
+// replica fault delay, double-charging recovery's backward marker scan
+// over records its own forward reads had just warmed.
+func TestReadPrevUsesWarmedCache(t *testing.T) {
+	clock := &sleepRecorder{}
+	const lat = time.Millisecond
+	l := Open(Config{ReadLatency: sim.FixedLatency(lat), Clock: clock, CacheSize: 16})
+	defer l.Close()
+	if _, err := l.Append([]Tag{"t"}, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A cold backward read pays exactly one read charge.
+	clock.slept = 0
+	rec, err := l.ReadPrev("t", MaxLSN)
+	if err != nil || rec == nil {
+		t.Fatalf("cold ReadPrev = (%v, %v), want record", rec, err)
+	}
+	if clock.slept != lat {
+		t.Fatalf("cold ReadPrev slept %v, want %v (one charge)", clock.slept, lat)
+	}
+
+	// The cold read populated the cache; the warmed backward read is
+	// free. Before the fix this charged lat again.
+	clock.slept = 0
+	rec, err = l.ReadPrev("t", MaxLSN)
+	if err != nil || rec == nil {
+		t.Fatalf("warm ReadPrev = (%v, %v), want record", rec, err)
+	}
+	if clock.slept != 0 {
+		t.Fatalf("warm ReadPrev slept %v, want 0 (cache hit)", clock.slept)
+	}
+	if hits, _ := l.CacheStats(); hits != 1 {
+		t.Fatalf("cache hits = %d, want 1", hits)
+	}
+
+	// Same contract across directions: a forward read warms, the
+	// backward scan of the same record stays uncharged under an injected
+	// replica delay spike too (the delay is charged by the forward read).
+	faults := sim.NewFaultInjector()
+	clock2 := &sleepRecorder{}
+	l2 := Open(Config{NumShards: 1, ReadLatency: sim.FixedLatency(lat), Clock: clock2, CacheSize: 16, Faults: faults})
+	defer l2.Close()
+	lsn, err := l2.Append([]Tag{"t"}, []byte("y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.SetDelay("shard/0", 5*time.Millisecond)
+	clock2.slept = 0
+	if rec, err := l2.ReadNext("t", lsn); err != nil || rec == nil {
+		t.Fatalf("ReadNext = (%v, %v)", rec, err)
+	}
+	forward := clock2.slept
+	if forward != lat+5*time.Millisecond {
+		t.Fatalf("forward read slept %v, want %v", forward, lat+5*time.Millisecond)
+	}
+	clock2.slept = 0
+	if rec, err := l2.ReadPrev("t", MaxLSN); err != nil || rec == nil {
+		t.Fatalf("ReadPrev = (%v, %v)", rec, err)
+	}
+	// The backward read still traverses the replica (fault delay models
+	// reaching it) but the record body is served from the warm cache.
+	if clock2.slept != 5*time.Millisecond {
+		t.Fatalf("warm ReadPrev under delay slept %v, want %v (no read-latency recharge)",
+			clock2.slept, 5*time.Millisecond)
+	}
+}

@@ -183,6 +183,25 @@ func (x *tagIndex) next(tag Tag, from LSN) (LSN, bool) {
 	return e.lsns[i], true
 }
 
+// nextN appends to dst up to max LSNs carrying tag at or after from, in
+// ascending order, and returns the extended slice. One shard read lock
+// and one binary search serve the whole run — the batched counterpart
+// of next, used by cursor fetches.
+func (x *tagIndex) nextN(tag Tag, from LSN, dst []LSN, max int) []LSN {
+	s := x.shardFor(tag)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e := s.m[tag]
+	if e == nil {
+		return dst
+	}
+	i := sort.Search(len(e.lsns), func(i int) bool { return e.lsns[i] >= from })
+	for ; i < len(e.lsns) && len(dst) < max; i++ {
+		dst = append(dst, e.lsns[i])
+	}
+	return dst
+}
+
 // prev returns the last LSN carrying tag at or before from.
 func (x *tagIndex) prev(tag Tag, from LSN) (LSN, bool) {
 	s := x.shardFor(tag)

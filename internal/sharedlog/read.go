@@ -194,10 +194,18 @@ func (l *Log) blockingRead(ctx context.Context, tags []Tag, from LSN, check func
 
 // ReadPrev returns the last record carrying tag at an LSN <= from, or
 // nil if none exists. Reading the tail of a task-log substream during
-// recovery is ReadPrev(tag, MaxLSN).
+// recovery is ReadPrev(tag, MaxLSN). It resolves and serves through the
+// same path as readNext, so a record already pulled by a forward read
+// is a cache hit here too — recovery's backward marker scan used to
+// bypass the cache and charge the read latency unconditionally on top
+// of the replica fault delay, double-charging every warmed record.
 func (l *Log) ReadPrev(tag Tag, from LSN) (*Record, error) {
 	l.stats.readPrev.Add(1)
-	l.chargeRead()
+	rec, err := l.readPrev(tag, from)
+	return l.serveRead(rec, err)
+}
+
+func (l *Log) readPrev(tag Tag, from LSN) (*Record, error) {
 	if l.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -208,15 +216,12 @@ func (l *Log) ReadPrev(tag Tag, from LSN) (*Record, error) {
 	if lsn < l.store.trimHorizon() {
 		return nil, ErrTrimmed
 	}
-	if !l.available(lsn) {
-		return nil, ErrUnavailable
-	}
-	l.chargeFaultDelay(lsn)
-	rec, err := l.store.get(lsn)
-	if err != nil {
+	rec, err := l.resolve(lsn)
+	if err == errRetryTrimmed {
+		// Lost a race with Trim; backward reads do not skip, so report it.
 		return nil, ErrTrimmed
 	}
-	return rec, nil
+	return rec, err
 }
 
 // Read returns the record at exactly lsn, or nil if that LSN has not

@@ -22,6 +22,13 @@ type logStats struct {
 	wakeups       atomic.Uint64 // waiters woken by commits
 	usefulWakeups atomic.Uint64 // wakeups after which the reader found data
 
+	cursorOpens          atomic.Uint64 // OpenCursor calls
+	cursorBatchReads     atomic.Uint64 // cursor fetches (read round trips)
+	cursorRecords        atomic.Uint64 // records returned through cursors
+	cursorPrefetchHits   atomic.Uint64 // records served from readahead buffers
+	cursorPrefetchMisses atomic.Uint64 // records served straight from a fetch
+	cursorInvalidations  atomic.Uint64 // cursors invalidated by Trim
+
 	trims atomic.Uint64
 }
 
@@ -66,6 +73,21 @@ type Stats struct {
 	ReaderWakeups uint64
 	UsefulWakeups uint64
 
+	// Streaming read plane (cursor.go). CursorBatchReads counts cursor
+	// fetches — the read round trips a deployment would pay;
+	// CursorRecords counts records delivered through them, so
+	// MeanReadBatch = CursorRecords / CursorBatchReads is the read-side
+	// amortization factor (the dual of MeanAppendBatch). PrefetchHits /
+	// PrefetchMisses split CursorRecords by whether the record was
+	// served from a readahead buffer or straight from its fetch.
+	CursorOpens         uint64
+	CursorBatchReads    uint64
+	CursorRecords       uint64
+	MeanReadBatch       float64
+	PrefetchHits        uint64
+	PrefetchMisses      uint64
+	CursorInvalidations uint64
+
 	// Trims counts Trim calls that advanced the horizon.
 	Trims uint64
 
@@ -102,6 +124,15 @@ func (l *Log) Stats() Stats {
 	if s.BatchAppends > 0 {
 		s.MeanAppendBatch = float64(l.stats.batchRecords.Load()) / float64(s.BatchAppends)
 	}
+	s.CursorOpens = l.stats.cursorOpens.Load()
+	s.CursorBatchReads = l.stats.cursorBatchReads.Load()
+	s.CursorRecords = l.stats.cursorRecords.Load()
+	if s.CursorBatchReads > 0 {
+		s.MeanReadBatch = float64(s.CursorRecords) / float64(s.CursorBatchReads)
+	}
+	s.PrefetchHits = l.stats.cursorPrefetchHits.Load()
+	s.PrefetchMisses = l.stats.cursorPrefetchMisses.Load()
+	s.CursorInvalidations = l.stats.cursorInvalidations.Load()
 	return s
 }
 
