@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench bench-compare chaos alloc recovery-smoke
+.PHONY: check build vet fmt test race bench bench-compare chaos alloc recovery-smoke scaling-smoke
 
 # check is the full gate: build, vet, formatting, unit tests, the
 # race-detector run over the packages with real concurrency, the
-# short seeded chaos suite, and the recovery smoke.
-check: build vet fmt test race chaos recovery-smoke
+# short seeded chaos suite, and the recovery and scaling smokes.
+check: build vet fmt test race chaos recovery-smoke scaling-smoke
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,13 @@ alloc:
 # round trips), as a fast sibling of the chaos gate.
 recovery-smoke:
 	$(GO) run ./cmd/impeller-bench -exp recovery -depths 500 -scale 0.02
+
+# scaling-smoke runs a two-point -exp scaling curve (sharded ordering
+# plane: 4 ordering shards must beat 1 on aggregate append throughput),
+# as a fast sibling of the chaos gate. The full curve with the committed
+# numbers is results/scaling.csv (see EXPERIMENTS.md).
+scaling-smoke:
+	$(GO) run ./cmd/impeller-bench -exp scaling -shards 1,4 -clients 96 -duration 600ms
 
 # bench runs the sharedlog micro-benchmarks (no -race; see results/).
 bench:

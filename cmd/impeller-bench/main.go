@@ -11,6 +11,7 @@
 //	impeller-bench -exp chaos                  # exactly-once under fault schedules
 //	impeller-bench -exp batching -query 1      # batched dataplane ablation
 //	impeller-bench -exp recovery -depths 2000,10000  # replay round trips, per-record vs batched
+//	impeller-bench -exp scaling -shards 1,2,4,8  # append throughput vs ordering shards
 //
 // Absolute numbers depend on the host and the latency calibration; the
 // shapes (who wins, where curves cross) are the reproduction target.
@@ -30,11 +31,13 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment: table2 | fig7 | fig8 | fig9 | table4 | crossover | chaos | batching | recovery")
+		exp      = flag.String("exp", "", "experiment: table2 | fig7 | fig8 | fig9 | table4 | crossover | chaos | batching | recovery | scaling")
 		rate     = flag.Int("rate", 0, "offered event rate for single-rate experiments (batching, recovery); 0 = per-query default")
 		query    = flag.Int("query", 0, "NEXMark query (fig7/fig8); 0 = all")
 		rates    = flag.String("rates", "", "comma-separated event rates (events/s)")
 		depths   = flag.String("depths", "", "comma-separated change-log depths for -exp recovery")
+		shards   = flag.String("shards", "", "comma-separated ordering-shard counts for -exp scaling")
+		clients  = flag.Int("clients", 0, "concurrent appenders for -exp scaling; 0 = default (256)")
 		duration = flag.Duration("duration", 3*time.Second, "measurement duration per point")
 		simulate = flag.Bool("simulate", true, "charge calibrated network/storage latencies")
 		scale    = flag.Float64("scale", 1.0, "scale factor on simulated latencies")
@@ -79,6 +82,8 @@ func main() {
 		err = runBatching(*query, *rate, *duration, *simulate, *scale, progress())
 	case "recovery":
 		err = runRecovery(parseRates(*depths), *rate, *simulate, *scale, progress())
+	case "scaling":
+		err = runScaling(parseRates(*shards), *clients, *duration, *scale, progress())
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -246,6 +251,23 @@ func runRecovery(depths []int, rate int, simulate bool, scale float64, progress 
 	bench.PrintRecovery(os.Stdout, points)
 	if csvOut != nil {
 		return bench.WriteRecoveryCSV(csvOut, points)
+	}
+	return nil
+}
+
+func runScaling(shards []int, clients int, duration time.Duration, scale float64, progress *os.File) error {
+	points, err := bench.RunScaling(bench.ScalingConfig{
+		Shards:   shards,
+		Clients:  clients,
+		Duration: duration,
+		Scale:    scale,
+	}, progress)
+	if err != nil {
+		return err
+	}
+	bench.PrintScaling(os.Stdout, points)
+	if csvOut != nil {
+		return bench.WriteScalingCSV(csvOut, points)
 	}
 	return nil
 }

@@ -142,6 +142,17 @@ type ClusterConfig struct {
 	// nodes, replication 3). Zero values mean 4 and 3.
 	LogShards   int
 	Replication int
+	// OrderingInterval switches the log to Scalog-style sequencer
+	// ordering: appends wait for the next global cut instead of being
+	// ordered immediately. 0 keeps immediate ordering (the default for
+	// tests; benchmarks and chaos runs set it to exercise the cut path).
+	OrderingInterval time.Duration
+	// OrderingShards is the number of local sequencer shards appends are
+	// routed across in sequencer mode (0 means 1). Each shard is an
+	// independent fault-injection target ("sequencer/<i>") and, under
+	// SimulateLatency, has its own serial local-persist bandwidth — so
+	// aggregate append throughput scales with the shard count.
+	OrderingShards int
 	// SimulateLatency charges calibrated network/storage latencies on
 	// log and coordinator operations (required for benchmarks; tests
 	// leave it off to run instantly).
@@ -225,10 +236,12 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		cacheSize = 0
 	}
 	logCfg := sharedlog.Config{
-		NumShards:   cfg.LogShards,
-		Replication: cfg.Replication,
-		Faults:      faults,
-		CacheSize:   cacheSize,
+		NumShards:        cfg.LogShards,
+		Replication:      cfg.Replication,
+		OrderingInterval: cfg.OrderingInterval,
+		OrderingShards:   cfg.OrderingShards,
+		Faults:           faults,
+		CacheSize:        cacheSize,
 	}
 	var coordLat sim.LatencyModel
 	kvCfg := kvstore.Config{SyncWrites: cfg.SyncCheckpointStore}
@@ -241,6 +254,9 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		}
 		logCfg.AppendLatency = scale(sim.DefaultBokiLatency(r.Fork()))
 		logCfg.ReadLatency = scale(sim.DefaultBokiLatency(r.Fork()))
+		if cfg.OrderingInterval > 0 {
+			logCfg.ShardAppendLatency = scale(sim.DefaultLocalPersistLatency(r.Fork()))
+		}
 		coordLat = scale(sim.DefaultKafkaLatency(r.Fork()))
 		kvCfg.SyncWrites = true
 	}
@@ -291,10 +307,11 @@ func (c *Cluster) LogStats() sharedlog.Stats { return c.log.Stats() }
 func (c *Cluster) Checkpoints() *kvstore.Store { return c.ckpt }
 
 // Faults exposes the cluster's fault injector: crash storage shards
-// ("shard/<i>"), partition clients from the sequencer ("sequencer") or
+// ("shard/<i>") or individual sequencer shards ("sequencer/<i>", in
+// ordering mode), partition clients from the sequencer ("sequencer") or
 // a shard, crash a task's compute node (core.ComputeNode(id)), or
 // inject latency spikes — the chaos harness drives seeded schedules of
-// all of these against the log's replication and retry paths.
+// all of these against the log's replication, ordering, and retry paths.
 func (c *Cluster) Faults() *sim.FaultInjector { return c.faults }
 
 // Close shuts the cluster down. Running apps must be stopped first.

@@ -66,6 +66,8 @@ func WriteFig7CSV(w io.Writer, series []*Fig7Series) error {
 				strconv.FormatUint(p.Log.CacheMisses, 10),
 				strconv.FormatUint(p.Log.SequencerCuts, 10),
 				fmt.Sprintf("%.2f", p.Log.MeanCutBatch),
+				strconv.Itoa(p.Log.OrderingShards),
+				fmt.Sprintf("%.3f", p.Log.CutSkew),
 				strconv.FormatUint(p.Log.ReaderWakeups, 10),
 				strconv.FormatUint(p.Log.UsefulWakeups, 10),
 				strconv.FormatUint(p.Log.BatchAppends, 10),
@@ -83,7 +85,7 @@ func WriteFig7CSV(w io.Writer, series []*Fig7Series) error {
 	return writeCSV(w,
 		[]string{"query", "protocol", "rate_eps", "p50_us", "p99_us", "mean_us", "sent", "received",
 			"log_appends", "log_reads", "cache_hits", "cache_misses",
-			"seq_cuts", "mean_cut_batch", "wakeups", "useful_wakeups",
+			"seq_cuts", "mean_cut_batch", "ordering_shards", "cut_skew", "wakeups", "useful_wakeups",
 			"batch_appends", "mean_append_batch", "batch_stalls",
 			"cursor_opens", "cursor_batch_reads", "cursor_records",
 			"cursor_prefetch_hits", "cursor_prefetch_misses", "cursor_invalidations"},

@@ -53,6 +53,12 @@ type RunConfig struct {
 	// engine default (64 records per cursor fetch). 1 degenerates to
 	// per-record reads with readahead disabled (the ablation baseline).
 	ReadBatchRecords int
+	// OrderingInterval runs the log in Scalog-style sequencer mode with
+	// global cuts at that interval (0 keeps immediate ordering);
+	// OrderingShards is the number of local sequencer shards appends are
+	// routed across in that mode (0 means 1).
+	OrderingInterval time.Duration
+	OrderingShards   int
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -128,6 +134,8 @@ func RunNexmark(cfg RunConfig) (*RunResult, error) {
 		BatchLinger:          cfg.BatchLinger,
 		BatchWindow:          cfg.BatchWindow,
 		ReadBatchRecords:     cfg.ReadBatchRecords,
+		OrderingInterval:     cfg.OrderingInterval,
+		OrderingShards:       cfg.OrderingShards,
 	})
 	defer cluster.Close()
 

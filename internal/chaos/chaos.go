@@ -7,10 +7,13 @@
 //
 // The harness exercises both fault planes:
 //
-//   - infrastructure faults (log-shard crashes, client↔sequencer and
-//     client↔shard partitions, sequencer/shard latency spikes) come
-//     from sim.GenFaultSchedule and stress the log's replication and
-//     the runtime's transient-fault retry layer;
+//   - infrastructure faults (log-shard and sequencer-shard crashes,
+//     client↔sequencer and client↔shard partitions, sequencer/shard
+//     latency spikes) come from sim.GenFaultSchedule and stress the
+//     log's replication, its sharded ordering plane (the log runs in
+//     sequencer mode here, so cuts race crashes and delays of
+//     individual local sequencers), and the runtime's transient-fault
+//     retry layer;
 //   - process faults (task kills, double-kills that land mid-recovery,
 //     zombie resurrection via Manager.Zombify, compute-node crashes)
 //     come from a second deterministic stream and stress recovery,
@@ -68,6 +71,13 @@ type Config struct {
 	// task, exercising the fatal path of the retry layer and the
 	// manager's restart backoff.
 	NodeCrashes int
+	// OrderingShards runs the log in Scalog-style sequencer mode with
+	// that many local sequencer shards, each an individual crash/delay
+	// target of the infra schedule (default 2; negative runs immediate
+	// ordering, the pre-split configuration). OrderingInterval is the
+	// global cut interval (default 1 ms).
+	OrderingShards   int
+	OrderingInterval time.Duration
 	// Duration is the fault window; inputs are paced across it and
 	// every fault starts inside it (default 1.2 s).
 	Duration time.Duration
@@ -105,6 +115,17 @@ func (c Config) withDefaults() Config {
 	}
 	if c.NodeCrashes <= 0 {
 		c.NodeCrashes = 2
+	}
+	if c.OrderingShards < 0 {
+		c.OrderingShards = 0 // immediate ordering, no shard layer
+		c.OrderingInterval = 0
+	} else {
+		if c.OrderingShards == 0 {
+			c.OrderingShards = 2
+		}
+		if c.OrderingInterval <= 0 {
+			c.OrderingInterval = time.Millisecond
+		}
 	}
 	if c.Duration <= 0 {
 		c.Duration = 1200 * time.Millisecond
@@ -190,15 +211,29 @@ func GenPlan(cfg Config, targets []impeller.TaskID) Plan {
 		shards[i] = fmt.Sprintf("shard/%d", i)
 		pairs = append(pairs, [2]string{"client", shards[i]})
 	}
+	// Sequencer shards are their own crash class: crashing one stalls
+	// its local pending until recovery (and fails fresh appends routed
+	// to it), without ever drawing down the storage quorum's outage
+	// budget. They are also slowable — a slow local sequencer stalls the
+	// global cut — and partitionable from clients.
+	seqShards := make([]string, cfg.OrderingShards)
+	for i := range seqShards {
+		seqShards[i] = fmt.Sprintf("sequencer/%d", i)
+		pairs = append(pairs, [2]string{"client", seqShards[i]})
+	}
 	plan := Plan{Infra: sim.GenFaultSchedule(cfg.Seed, sim.ScheduleConfig{
-		Duration:  cfg.Duration,
-		Crashable: shards,
-		Pairs:     pairs,
-		Slowable:  append([]string{"sequencer"}, shards...),
-		Faults:    cfg.InfraFaults,
+		Duration:   cfg.Duration,
+		Crashable:  shards,
+		CrashableB: seqShards,
+		Pairs:      pairs,
+		Slowable:   append(append([]string{"sequencer"}, shards...), seqShards...),
+		Faults:     cfg.InfraFaults,
 		// Replication 3 over 4 shards: two concurrent shard crashes
 		// still leave every LSN with a live replica.
 		MaxDown: 2,
+		// One sequencer shard down at a time: the cut keeps advancing
+		// on the others while the crashed shard's pending waits.
+		MaxDownB: 1,
 	})}
 	plan.Faults = plan.Infra.Faults
 
@@ -324,6 +359,8 @@ func Run(cfg Config) (*Result, error) {
 		IngressWriters:       cfg.Generators,
 		IngressFlushInterval: 5 * time.Millisecond,
 		LogShards:            logShards,
+		OrderingInterval:     cfg.OrderingInterval,
+		OrderingShards:       cfg.OrderingShards,
 		Seed:                 cfg.Seed,
 	})
 	defer cluster.Close()

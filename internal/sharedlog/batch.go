@@ -96,32 +96,41 @@ func (l *Log) AppendBatch(entries []AppendEntry) ([]AppendResult, error) {
 	l.stats.batchAppends.Add(1)
 	l.stats.batchRecords.Add(uint64(len(entries)))
 
-	l.mu.Lock()
-	if l.closed.Load() {
-		l.mu.Unlock()
-		return nil, ErrClosed
-	}
 	if !l.ordering {
 		// Immediate mode: guard checks, LSN assignment, and publication
 		// for the whole group happen under one acquisition of the
 		// ordering mutex, then one vectorized index pass.
+		l.mu.Lock()
+		if l.closed.Load() {
+			l.mu.Unlock()
+			return nil, ErrClosed
+		}
 		results := make([]appendResult, len(pend))
 		recs := l.orderLocked(pend, results, make([]*Record, 0, len(pend)))
 		l.publishLocked(recs)
 		l.mu.Unlock()
 		return publicResults(results), nil
 	}
-	// Sequencer mode: the group waits for the next cut as one unit and
-	// is ordered contiguously within it.
-	resp := make(chan []appendResult, 1)
-	l.pending = append(l.pending, pendingBatch{entries: pend, resp: resp})
-	l.mu.Unlock()
-
-	res, ok := <-resp
-	if !ok {
-		return nil, ErrClosed
+	// Sequencer mode: the group rides one ordering shard — one serial
+	// local-persist charge for the whole batch — then waits for the next
+	// cut as one unit and is ordered contiguously within it.
+	s := l.routeShard()
+	if err := l.cfg.Faults.Check("client", s.name); err != nil {
+		return nil, err
 	}
-	return publicResults(res), nil
+	l.chargeShardPersist(s)
+	b := &pendingBatch{
+		entries: pend,
+		results: make([]appendResult, len(pend)),
+		resp:    make(chan error, 1),
+	}
+	if err := s.enqueue(l, b); err != nil {
+		return nil, err
+	}
+	if err := <-b.resp; err != nil {
+		return nil, err
+	}
+	return publicResults(b.results), nil
 }
 
 func publicResults(in []appendResult) []AppendResult {

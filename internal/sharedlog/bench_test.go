@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"impeller/internal/sim"
 )
@@ -100,6 +101,36 @@ func BenchmarkAppendLatencyAmortization(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkAppendSequencerShards measures sequencer-mode append
+// throughput against the number of ordering shards under a scaled
+// local-persist latency: the serial per-shard resource that bounds one
+// shard's bandwidth. Throughput should rise near-linearly in the shard
+// count until the appender pool stops saturating the shards (the full
+// calibrated curve is -exp scaling; see results/scaling.md).
+func BenchmarkAppendSequencerShards(b *testing.B) {
+	payload := make([]byte, 128)
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			l := Open(Config{
+				OrderingInterval:   100 * time.Microsecond,
+				OrderingShards:     shards,
+				ShardAppendLatency: sim.Scale{M: sim.DefaultLocalPersistLatency(sim.NewRand(1).Fork()), F: 0.05},
+			})
+			defer l.Close()
+			b.SetParallelism(16)
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				tags := []Tag{"bench"}
+				for pb.Next() {
+					if _, err := l.Append(tags, payload); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
 }
 
 // BenchmarkReadNextHot measures parallel non-blocking reads of one hot

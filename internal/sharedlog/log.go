@@ -21,10 +21,14 @@
 // Internally the log is split into two planes (Boki/Scalog separate
 // ordering from storage the same way):
 //
-//   - The ordering plane (ordering.go) is the only writer. It serializes
-//     LSN assignment, conditional-append guards, and the sequencer's
-//     batch cuts under one mutex — the total order is a serial decision
-//     by definition.
+//   - The ordering plane (ordering.go) is the only writer. It is itself
+//     split Scalog-style: in sequencer mode appends are routed across
+//     OrderingShards local sequencer shards (own lock, own simulated
+//     persist bandwidth — appends on different shards never contend),
+//     and a periodic cut aggregator assigns each shard a contiguous
+//     range of global LSNs under one mutex — the total order is a
+//     serial decision by definition, but only the cut is serial, not
+//     the appends feeding it.
 //   - The committed-read plane (store.go, index.go, read.go) is
 //     lock-free for readers: committed records live in immutable
 //     segmented arrays behind an atomically published tail, and the
@@ -123,15 +127,27 @@ type Config struct {
 	// OrderingInterval is the sequencer cut interval (Scalog-style).
 	// Zero orders every append immediately.
 	OrderingInterval time.Duration
+	// OrderingShards is the number of local sequencer shards appends are
+	// routed across in sequencer mode; 0 means 1. Ignored in immediate
+	// mode (OrderingInterval == 0), which has no shard layer.
+	OrderingShards int
 	// AppendLatency and ReadLatency charge simulated network+storage
 	// time on each operation; nil charges nothing.
 	AppendLatency sim.LatencyModel
 	ReadLatency   sim.LatencyModel
+	// ShardAppendLatency models the local persist at an ordering shard:
+	// samples are charged serially per shard (one group at a time, like
+	// a local disk), concurrently across shards — the resource that
+	// makes aggregate append throughput scale with OrderingShards. Only
+	// charged in sequencer mode; nil charges nothing.
+	ShardAppendLatency sim.LatencyModel
 	// Clock defaults to the real clock.
 	Clock sim.Clock
 	// Faults, if non-nil, lets experiments crash shards and partition
-	// clients from the sequencer. Shards are named "shard/<i>";
-	// the sequencer is named "sequencer".
+	// clients from the sequencer. Storage shards are named "shard/<i>";
+	// the cut aggregator is named "sequencer"; local sequencer shards
+	// are named "sequencer/<i>" and can be crashed or delayed mid-cut
+	// individually.
 	Faults *sim.FaultInjector
 	// CacheSize enables a client-side record cache of that many entries
 	// (Boki's function-node storage cache, paper §5.3); cache hits skip
@@ -149,6 +165,9 @@ func (c Config) withDefaults() Config {
 	if c.Replication > c.NumShards {
 		c.Replication = c.NumShards
 	}
+	if c.OrderingShards <= 0 {
+		c.OrderingShards = 1
+	}
 	if c.Clock == nil {
 		c.Clock = sim.RealClock{}
 	}
@@ -160,11 +179,15 @@ func (c Config) withDefaults() Config {
 type Log struct {
 	cfg Config
 
-	// Ordering plane: mu serializes LSN assignment, conditional-append
-	// guard checks, and the pending batches. Reads never take it.
-	mu       sync.Mutex
-	pending  []pendingBatch // waiting for the sequencer cut
-	ordering bool           // sequencer loop running
+	// Ordering plane. mu serializes the global half — LSN assignment,
+	// conditional-append guard checks, and cut publication. Reads never
+	// take it. In sequencer mode pending appends live on the local
+	// sequencer shards (seqShards), each behind its own lock, and only
+	// the cut aggregator touches mu on their behalf.
+	mu        sync.Mutex
+	seqShards []*seqShard   // local ordering layer (sequencer mode only)
+	rr        atomic.Uint64 // round-robin append routing across seqShards
+	ordering  bool          // cut loop running
 
 	// Committed-read plane: lock-free segmented store + sharded index.
 	store *store
@@ -205,7 +228,11 @@ func Open(cfg Config) *Log {
 	}
 	if cfg.OrderingInterval > 0 {
 		l.ordering = true
-		go l.sequencerLoop()
+		l.seqShards = make([]*seqShard, cfg.OrderingShards)
+		for i := range l.seqShards {
+			l.seqShards[i] = &seqShard{name: fmt.Sprintf("sequencer/%d", i)}
+		}
+		go l.cutLoop()
 	}
 	return l
 }
@@ -215,13 +242,16 @@ func Open(cfg Config) *Log {
 func (l *Log) Close() {
 	l.closeOnce.Do(func() {
 		l.closed.Store(true)
-		l.mu.Lock()
-		pending := l.pending
-		l.pending = nil
-		l.mu.Unlock()
-		close(l.done) // stops the sequencer and wakes every blocked reader
-		for _, b := range pending {
-			close(b.resp)
+		close(l.done) // stops the cut loop and wakes every blocked reader
+		// Fail pending batches promptly on every ordering shard. closed
+		// was set before the steals, so an append that misses a steal
+		// observes closed under shard.mu and never enqueues — no batch
+		// is stranded, no goroutine stays stuck in <-resp. A batch the
+		// cut loop already stole still gets its real results delivered.
+		for _, s := range l.seqShards {
+			for _, b := range s.steal() {
+				b.resp <- ErrClosed
+			}
 		}
 	})
 }

@@ -1,18 +1,93 @@
 package sharedlog
 
-// The ordering plane: the single writer into the committed store. LSN
-// assignment is the global total order, so it is a serial decision by
-// construction — everything here runs under l.mu. The committed-read
-// plane (store.go, index.go, read.go) only ever observes fully
-// published state.
+// The ordering plane, split Scalog-style into two layers:
+//
+//   - The per-shard local-ordering layer (seqShard). In sequencer mode
+//     every append is routed round-robin to one of OrderingShards local
+//     sequencers. Each shard owns its pending list behind its own short
+//     lock and models its local persist bandwidth by charging
+//     ShardAppendLatency serially per shard — so appends on different
+//     shards never contend on a lock or on simulated storage.
+//
+//   - The cut/publish layer (cutLoop). Every OrderingInterval the cut
+//     aggregator steals each shard's pending batches and, under l.mu,
+//     assigns each shard a contiguous range of global LSNs, re-validates
+//     conditional-append guards against the metadata KV at that moment,
+//     writes the records to the committed store, and indexes the whole
+//     cut with one vectorized pass. LSN assignment is the global total
+//     order, so it is a serial decision by construction — the committed
+//     tail advances in total order by cut, and the lock-free read plane
+//     (store.go, index.go, read.go) only ever observes fully published
+//     state.
+//
+// Immediate mode (OrderingInterval == 0) bypasses the shard layer
+// entirely: each append is ordered and published under one acquisition
+// of l.mu, exactly as before the split.
 
-// pendingBatch is a group of appends waiting for the next sequencer
-// cut. A single Append is a batch of one; AppendBatch enqueues many
-// entries behind one response channel so the whole group is ordered
-// contiguously within the cut.
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// seqShard is one local sequencer: the per-shard half of the ordering
+// plane. Appends enqueue here without touching the global ordering
+// mutex; the cut aggregator steals the pending list at each cut. The
+// shard is a named fault-injection target ("sequencer/<i>") so chaos
+// schedules can crash or slow an individual local sequencer mid-cut.
+type seqShard struct {
+	name string
+
+	// mu guards pending only. It is held for O(1) per enqueue and one
+	// pointer swap per cut, so it never becomes the contention point the
+	// single ordering mutex used to be.
+	mu      sync.Mutex
+	pending []*pendingBatch
+
+	// persistMu serializes the local persist simulation: a shard's
+	// storage writes one group at a time, which is what makes aggregate
+	// append throughput scale with the number of ordering shards.
+	persistMu sync.Mutex
+
+	// spare is the recycled backing array for pending, owned by the cut
+	// loop between cuts.
+	spare []*pendingBatch
+
+	// cuts / records count the cuts this shard contributed >= 1 entry to
+	// and the entries it pushed through them (Stats reports per-shard
+	// cut counters and skew from these).
+	cuts    atomic.Uint64
+	records atomic.Uint64
+}
+
+// pendingBatch is a group of appends waiting on one shard for the next
+// sequencer cut. A single Append is a batch of one (drawn from
+// batchPool so the warm append path stays allocation-flat); AppendBatch
+// enqueues many entries behind one response so the whole group is
+// ordered contiguously within the cut.
+//
+// Ownership protocol: the submitter owns the batch until it is enqueued
+// on a shard; stealing the shard's pending list (cut loop or Close,
+// mutually exclusive under shard.mu) transfers ownership to exactly one
+// stealer, which fills results and then performs the single send on
+// resp; receiving on resp returns ownership to the submitter. resp is
+// never closed, so pooled batches can be recycled safely.
 type pendingBatch struct {
 	entries []pendingEntry
-	resp    chan []appendResult // one result per entry, index-aligned
+	results []appendResult // one per entry, index-aligned; valid when resp delivers nil
+	resp    chan error     // capacity 1: nil = ordered, ErrClosed = log shut down
+}
+
+// batchPool recycles single-entry batches for the ordering-mode Append
+// hot path, eliminating the per-call response-channel and result-slice
+// allocations.
+var batchPool = sync.Pool{
+	New: func() any {
+		return &pendingBatch{
+			entries: make([]pendingEntry, 1),
+			results: make([]appendResult, 1),
+			resp:    make(chan error, 1),
+		}
+	},
 }
 
 // pendingEntry is one record of a pending batch, with its
@@ -65,12 +140,12 @@ func (l *Log) append(tags []Tag, payload []byte, condKey string, condWant uint64
 		Payload: append([]byte(nil), payload...),
 	}
 
-	l.mu.Lock()
-	if l.closed.Load() {
-		l.mu.Unlock()
-		return 0, ErrClosed
-	}
 	if !l.ordering {
+		l.mu.Lock()
+		if l.closed.Load() {
+			l.mu.Unlock()
+			return 0, ErrClosed
+		}
 		// The guard check and the ordering decision are atomic under
 		// l.mu: together with FenceIncrement, two markers can never
 		// both commit for the same (task, instance).
@@ -83,26 +158,104 @@ func (l *Log) append(tags []Tag, payload []byte, condKey string, condWant uint64
 		l.mu.Unlock()
 		return lsn, nil
 	}
-	// Ordering mode: the guard is validated at the sequencer cut — the
-	// moment the LSN is assigned — not at enqueue time, so a fence
-	// between enqueue and cut still excludes the append.
-	resp := make(chan []appendResult, 1)
-	l.pending = append(l.pending, pendingBatch{
-		entries: []pendingEntry{{
-			rec:         rec,
-			conditional: conditional,
-			condKey:     condKey,
-			condWant:    condWant,
-		}},
-		resp: resp,
-	})
-	l.mu.Unlock()
-
-	res, ok := <-resp
-	if !ok {
-		return 0, ErrClosed
+	// Ordering mode: route to a local sequencer shard. The guard is
+	// validated at the sequencer cut — the moment the LSN is assigned —
+	// not at enqueue time, so a fence between enqueue and cut still
+	// excludes the append.
+	s := l.routeShard()
+	if err := l.cfg.Faults.Check("client", s.name); err != nil {
+		return 0, err // crashed local sequencer; retryable, a retry re-routes
 	}
-	return res[0].lsn, res[0].err
+	l.chargeShardPersist(s)
+	b := batchPool.Get().(*pendingBatch)
+	b.entries[0] = pendingEntry{
+		rec:         rec,
+		conditional: conditional,
+		condKey:     condKey,
+		condWant:    condWant,
+	}
+	if err := s.enqueue(l, b); err != nil {
+		b.entries[0] = pendingEntry{}
+		batchPool.Put(b)
+		return 0, err
+	}
+	if err := <-b.resp; err != nil {
+		b.entries[0] = pendingEntry{}
+		batchPool.Put(b)
+		return 0, err
+	}
+	res := b.results[0]
+	b.entries[0] = pendingEntry{} // drop the record reference before pooling
+	batchPool.Put(b)
+	return res.lsn, res.err
+}
+
+// routeShard picks the ordering shard for the next append. Round-robin
+// keeps the shards load-balanced without any coordination beyond one
+// atomic increment.
+func (l *Log) routeShard() *seqShard {
+	if len(l.seqShards) == 1 {
+		return l.seqShards[0]
+	}
+	return l.seqShards[l.rr.Add(1)%uint64(len(l.seqShards))]
+}
+
+// chargeShardPersist models the local persist at an ordering shard: one
+// group at a time per shard (serialized under persistMu), concurrent
+// across shards. This — not the enqueue lock — is the per-shard
+// resource that bounds a single shard's append bandwidth.
+func (l *Log) chargeShardPersist(s *seqShard) {
+	m := l.cfg.ShardAppendLatency
+	if m == nil {
+		return
+	}
+	d := m.Sample()
+	if d <= 0 {
+		return
+	}
+	s.persistMu.Lock()
+	l.cfg.Clock.Sleep(d)
+	s.persistMu.Unlock()
+}
+
+// enqueue adds b to the shard's pending list, failing fast with
+// ErrClosed once the log is shut down. The closed check happens under
+// shard.mu: Close marks the log closed before stealing each shard's
+// pending list, so a batch either lands in a steal (and is failed by
+// Close) or observes closed here — it can never be stranded.
+func (s *seqShard) enqueue(l *Log, b *pendingBatch) error {
+	s.mu.Lock()
+	if l.closed.Load() {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.pending = append(s.pending, b)
+	s.mu.Unlock()
+	return nil
+}
+
+// steal takes the shard's entire pending list, leaving the recycled
+// spare array in its place. Called by the cut loop each cut and by
+// Close at shutdown; shard.mu makes the two exclusive, so every batch
+// has exactly one stealer (and therefore exactly one resp send).
+func (s *seqShard) steal() []*pendingBatch {
+	s.mu.Lock()
+	stolen := s.pending
+	s.pending = s.spare
+	s.spare = nil
+	s.mu.Unlock()
+	return stolen
+}
+
+// recycle hands a drained steal result back to the shard as the next
+// pending backing array. Taken under shard.mu because steal (cut loop
+// or Close) reads spare under the same lock.
+func (s *seqShard) recycle(arr []*pendingBatch) {
+	s.mu.Lock()
+	if s.spare == nil {
+		s.spare = arr[:0]
+	}
+	s.mu.Unlock()
 }
 
 // condHoldsLocked reports whether the metadata guard still holds.
@@ -172,28 +325,61 @@ func (l *Log) publishLocked(recs []*Record) {
 	}
 }
 
-// sequencerLoop implements Scalog-style ordering: locally persisted
-// appends wait for the next cut, at which point the sequencer assigns a
-// contiguous range of global LSNs to everything pending. All batches in
-// the cut share one vectorized index pass.
-func (l *Log) sequencerLoop() {
+// cutLoop is the cut/publish layer: Scalog-style global ordering over
+// the local sequencer shards. Every OrderingInterval it collects each
+// live shard's pending batches and assigns the whole cut global LSNs
+// under one acquisition of l.mu — shard by shard, so each shard's
+// committed records occupy a contiguous LSN range within the cut — then
+// indexes everything with one vectorized pass.
+//
+// Fault semantics per shard:
+//   - a crashed shard ("sequencer/<i>") is excluded from the cut; its
+//     pending appends stay queued until it recovers and a later cut
+//     picks them up (new appends to it fail fast with ErrCrashed);
+//   - a delayed shard stalls the cut by its injected delay before its
+//     list is stolen — the global cut advances at the pace of the
+//     slowest live shard, which is exactly the coupling the Scalog
+//     design accepts in exchange for contention-free appends.
+func (l *Log) cutLoop() {
+	stolen := make([][]*pendingBatch, len(l.seqShards))
+	var recs []*Record
 	for {
 		select {
 		case <-l.done:
 			return
 		case <-l.cfg.Clock.After(l.cfg.OrderingInterval):
 		}
-		l.mu.Lock()
-		batches := l.pending
-		l.pending = nil
+		// Local layer: collect per-shard pending lists.
+		for i, s := range l.seqShards {
+			stolen[i] = nil
+			if l.cfg.Faults.Crashed(s.name) {
+				continue // excluded from this cut; pending waits for recovery
+			}
+			if d := l.cfg.Faults.DelayOf(s.name); d > 0 {
+				l.cfg.Clock.Sleep(d) // slow local sequencer stalls the cut
+			}
+			stolen[i] = s.steal()
+		}
+		// Global layer: one ordering decision for the whole cut.
 		total := 0
-		var recs []*Record
-		results := make([][]appendResult, len(batches))
-		for bi := range batches {
-			b := &batches[bi]
-			results[bi] = make([]appendResult, len(b.entries))
-			recs = l.orderLocked(b.entries, results[bi], recs)
-			total += len(b.entries)
+		recs = recs[:0]
+		l.mu.Lock()
+		for i, s := range l.seqShards {
+			shardEntries := 0
+			for _, b := range stolen[i] {
+				if cap(b.results) < len(b.entries) {
+					b.results = make([]appendResult, len(b.entries))
+				} else {
+					b.results = b.results[:len(b.entries)]
+				}
+				recs = l.orderLocked(b.entries, b.results, recs)
+				shardEntries += len(b.entries)
+			}
+			if shardEntries > 0 {
+				s.cuts.Add(1)
+				s.records.Add(uint64(shardEntries))
+				total += shardEntries
+			}
 		}
 		l.publishLocked(recs)
 		l.mu.Unlock()
@@ -201,8 +387,21 @@ func (l *Log) sequencerLoop() {
 			l.stats.cuts.Add(1)
 			l.stats.cutBatch.Add(uint64(total))
 		}
-		for bi := range batches {
-			batches[bi].resp <- results[bi]
+		// Deliver results and recycle the stolen arrays as next cut's
+		// spares. The send transfers batch ownership back to the
+		// submitter; nothing may touch b afterwards.
+		for i, s := range l.seqShards {
+			if stolen[i] == nil {
+				continue
+			}
+			for j, b := range stolen[i] {
+				b.resp <- nil
+				stolen[i][j] = nil // drop the reference before recycling
+			}
+			s.recycle(stolen[i])
+		}
+		for i := range recs {
+			recs[i] = nil // don't pin records past their cut
 		}
 	}
 }

@@ -60,6 +60,19 @@ type Stats struct {
 	SequencerCuts uint64
 	MeanCutBatch  float64
 
+	// Per-shard view of the ordering plane (sequencer mode only;
+	// OrderingShards is 0 in immediate mode, which has no shard layer).
+	// ShardCuts[i] counts the cuts shard i contributed at least one
+	// entry to, ShardCutRecords[i] the entries it pushed through them,
+	// and ShardMeanCut[i] their ratio. CutSkew is max(ShardCutRecords) /
+	// mean(ShardCutRecords) — 1.0 means perfectly balanced routing, and
+	// it stays near 1 under round-robin unless faults idle a shard.
+	OrderingShards  int
+	ShardCuts       []uint64
+	ShardCutRecords []uint64
+	ShardMeanCut    []float64
+	CutSkew         float64
+
 	// BatchAppends counts AppendBatch group commits; MeanAppendBatch is
 	// the mean number of records per group (0 when callers only ever
 	// append singly). Together with Appends this shows how much of the
@@ -119,6 +132,27 @@ func (l *Log) Stats() Stats {
 	}
 	if s.SequencerCuts > 0 {
 		s.MeanCutBatch = float64(l.stats.cutBatch.Load()) / float64(s.SequencerCuts)
+	}
+	if n := len(l.seqShards); n > 0 {
+		s.OrderingShards = n
+		s.ShardCuts = make([]uint64, n)
+		s.ShardCutRecords = make([]uint64, n)
+		s.ShardMeanCut = make([]float64, n)
+		var sum, max uint64
+		for i, sh := range l.seqShards {
+			s.ShardCuts[i] = sh.cuts.Load()
+			s.ShardCutRecords[i] = sh.records.Load()
+			if s.ShardCuts[i] > 0 {
+				s.ShardMeanCut[i] = float64(s.ShardCutRecords[i]) / float64(s.ShardCuts[i])
+			}
+			sum += s.ShardCutRecords[i]
+			if s.ShardCutRecords[i] > max {
+				max = s.ShardCutRecords[i]
+			}
+		}
+		if sum > 0 {
+			s.CutSkew = float64(max) * float64(n) / float64(sum)
+		}
 	}
 	s.BatchAppends = l.stats.batchAppends.Load()
 	if s.BatchAppends > 0 {

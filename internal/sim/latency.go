@@ -55,6 +55,16 @@ func DefaultBokiLatency(r *Rand) *LogNormalLatency {
 	return &LogNormalLatency{R: r, Median: 1300 * time.Microsecond, Sigma: 0.18, TailProb: 0.01, TailScale: 1.9}
 }
 
+// DefaultLocalPersistLatency returns the latency model for one ordering
+// shard's local persist: the group-commit write to shard-local storage
+// that precedes global ordering in a Scalog-style log. It is a fraction
+// of the full append round trip (DefaultBokiLatency) because it crosses
+// no network — a local SSD group flush — but it is the serial per-shard
+// resource, so it is what aggregate append throughput scales against.
+func DefaultLocalPersistLatency(r *Rand) *LogNormalLatency {
+	return &LogNormalLatency{R: r, Median: 250 * time.Microsecond, Sigma: 0.25, TailProb: 0.005, TailScale: 4}
+}
+
 // DefaultKafkaLatency returns the latency model for the Kafka-like log,
 // calibrated so produce-to-consume p50 is ~1.3–1.8x lower than the shared
 // log but with a heavier tail at low rates, matching Table 2.

@@ -77,6 +77,12 @@ type ScheduleConfig struct {
 	Duration time.Duration
 	// Crashable are nodes eligible for crash/recover events.
 	Crashable []string
+	// CrashableB is a second, independently budgeted crash class.
+	// Storage shards sit in Crashable under the quorum-derived MaxDown
+	// cap; ordering-plane nodes (sequencer shards) go here so crashing
+	// one never consumes the storage quorum's outage budget — the two
+	// planes fail independently, as they would on separate machines.
+	CrashableB []string
 	// Pairs are links eligible for partition/heal events.
 	Pairs [][2]string
 	// Slowable are nodes eligible for latency spikes.
@@ -89,8 +95,10 @@ type ScheduleConfig struct {
 	MaxOutage time.Duration
 	// MaxDown caps how many Crashable nodes may be down at once — with
 	// replication r over n shards, n-r concurrent crashes keep every
-	// LSN readable (default 1).
-	MaxDown int
+	// LSN readable (default 1). MaxDownB is the same cap for the
+	// CrashableB class, tracked separately (default 1).
+	MaxDown  int
+	MaxDownB int
 	// MaxDelay bounds injected latency spikes (default 3ms).
 	MaxDelay time.Duration
 }
@@ -110,6 +118,9 @@ func (c ScheduleConfig) withDefaults() ScheduleConfig {
 	}
 	if c.MaxDown <= 0 {
 		c.MaxDown = 1
+	}
+	if c.MaxDownB <= 0 {
+		c.MaxDownB = 1
 	}
 	if c.MaxDelay <= 0 {
 		c.MaxDelay = 3 * time.Millisecond
@@ -145,21 +156,40 @@ func overlaps(list []interval, start, end time.Duration, key string) (same bool,
 func GenFaultSchedule(seed uint64, cfg ScheduleConfig) FaultSchedule {
 	cfg = cfg.withDefaults()
 	rng := NewRand(seed)
-	var kinds []FaultOp
+	// Crash classes place independently: each has its own node set,
+	// concurrency cap, and active-interval ledger, so an outage in one
+	// class never consumes the other's budget.
+	type crashClass struct {
+		nodes   []string
+		maxDown int
+		active  []interval
+	}
+	var classes []*crashClass
 	if len(cfg.Crashable) > 0 {
-		kinds = append(kinds, OpCrash)
+		classes = append(classes, &crashClass{nodes: cfg.Crashable, maxDown: cfg.MaxDown})
+	}
+	if len(cfg.CrashableB) > 0 {
+		classes = append(classes, &crashClass{nodes: cfg.CrashableB, maxDown: cfg.MaxDownB})
+	}
+	type choice struct {
+		op    FaultOp
+		class *crashClass // crash target class; nil for other ops
+	}
+	var kinds []choice
+	for _, cl := range classes {
+		kinds = append(kinds, choice{op: OpCrash, class: cl})
 	}
 	if len(cfg.Pairs) > 0 {
-		kinds = append(kinds, OpPartition)
+		kinds = append(kinds, choice{op: OpPartition})
 	}
 	if len(cfg.Slowable) > 0 {
-		kinds = append(kinds, OpSlow)
+		kinds = append(kinds, choice{op: OpSlow})
 	}
 	sched := FaultSchedule{Seed: seed}
 	if len(kinds) == 0 {
 		return sched
 	}
-	var crashes, other []interval
+	var other []interval
 	rnd := func(d time.Duration) time.Duration { return time.Duration(rng.Int63() % int64(d)) }
 	for placed := 0; placed < cfg.Faults; {
 		// Rejection-sample a non-overlapping slot; the window is long
@@ -169,14 +199,15 @@ func GenFaultSchedule(seed uint64, cfg ScheduleConfig) FaultSchedule {
 			kind := kinds[rng.Intn(len(kinds))]
 			start := rnd(cfg.Duration)
 			end := start + cfg.MinOutage + rnd(cfg.MaxOutage-cfg.MinOutage)
-			switch kind {
+			switch kind.op {
 			case OpCrash:
-				node := cfg.Crashable[rng.Intn(len(cfg.Crashable))]
-				same, down := overlaps(crashes, start, end, node)
-				if same || down >= cfg.MaxDown {
+				cl := kind.class
+				node := cl.nodes[rng.Intn(len(cl.nodes))]
+				same, down := overlaps(cl.active, start, end, node)
+				if same || down >= cl.maxDown {
 					continue
 				}
-				crashes = append(crashes, interval{start, end, node})
+				cl.active = append(cl.active, interval{start, end, node})
 				sched.Events = append(sched.Events,
 					FaultEvent{At: start, Op: OpCrash, A: node},
 					FaultEvent{At: end, Op: OpRecover, A: node})

@@ -82,6 +82,60 @@ func TestGenFaultSchedulePaired(t *testing.T) {
 	}
 }
 
+// TestGenFaultScheduleCrashClasses asserts the two crash classes are
+// budgeted independently: class-B (sequencer shard) outages never count
+// against the storage quorum's MaxDown, and each class respects its own
+// cap throughout the schedule.
+func TestGenFaultScheduleCrashClasses(t *testing.T) {
+	cfg := chaosScheduleConfig()
+	cfg.CrashableB = []string{"sequencer/0", "sequencer/1", "sequencer/2", "sequencer/3"}
+	cfg.MaxDownB = 1
+	cfg.Faults = 24
+	classOf := func(node string) int {
+		for _, n := range cfg.CrashableB {
+			if n == node {
+				return 1
+			}
+		}
+		return 0
+	}
+	sawB := false
+	for seed := uint64(1); seed <= 20; seed++ {
+		sched := GenFaultSchedule(seed, cfg)
+		down := [2]int{}
+		caps := [2]int{cfg.MaxDown, cfg.MaxDownB}
+		for _, ev := range sched.Events {
+			switch ev.Op {
+			case OpCrash:
+				c := classOf(ev.A)
+				if c == 1 {
+					sawB = true
+				}
+				down[c]++
+				if down[c] > caps[c] {
+					t.Fatalf("seed %d: class %d has %d concurrent crashes > cap %d", seed, c, down[c], caps[c])
+				}
+			case OpRecover:
+				down[classOf(ev.A)]--
+			}
+		}
+		if down != [2]int{} {
+			t.Fatalf("seed %d: unpaired crashes: %v", seed, down)
+		}
+	}
+	if !sawB {
+		t.Fatal("no class-B crash placed across 20 seeds")
+	}
+	// A config without CrashableB must generate exactly what it did
+	// before the class split (the rng draw sequence is unchanged).
+	legacy := chaosScheduleConfig()
+	a := GenFaultSchedule(7, legacy)
+	b := GenFaultSchedule(7, legacy)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("legacy config no longer deterministic")
+	}
+}
+
 func TestFaultInjectorDelaysAndReset(t *testing.T) {
 	var nilInj *FaultInjector
 	nilInj.SetDelay("x", time.Millisecond) // must not panic
