@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench bench-compare chaos alloc recovery-smoke scaling-smoke
+.PHONY: check build vet fmt test race bench bench-compare chaos alloc recovery-smoke scaling-smoke egress-smoke
 
 # check is the full gate: build, vet, formatting, unit tests, the
 # race-detector run over the packages with real concurrency, the
-# short seeded chaos suite, and the recovery and scaling smokes.
-check: build vet fmt test race chaos recovery-smoke scaling-smoke
+# short seeded chaos suite, and the recovery, scaling, and egress
+# smokes.
+check: build vet fmt test race chaos recovery-smoke scaling-smoke egress-smoke
 
 build:
 	$(GO) build ./...
@@ -53,6 +54,14 @@ recovery-smoke:
 # numbers is results/scaling.csv (see EXPERIMENTS.md).
 scaling-smoke:
 	$(GO) run ./cmd/impeller-bench -exp scaling -shards 1,4 -clients 96 -duration 600ms
+
+# egress-smoke runs a fast -exp egress point (transactional sink
+# delivery: delivered-record latency per protocol, then chaos-verified
+# recovery from hard sink kills with the replacement resuming from the
+# persisted ack frontier). The full run with the committed numbers is
+# results/egress.csv (see EXPERIMENTS.md).
+egress-smoke:
+	$(GO) run ./cmd/impeller-bench -exp egress -duration 800ms -scale 0.05
 
 # bench runs the sharedlog micro-benchmarks (no -race; see results/).
 bench:

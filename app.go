@@ -140,6 +140,18 @@ func (a *App) Sink(stream StreamID, gated bool, onRecord func(r Record, producer
 	return s
 }
 
+// NewDeliverySink builds a transactional egress sink over an output
+// stream: committed records flow through a bounded in-flight window to
+// consumer, acknowledged offsets persist to the stream's egress-offsets
+// substream, and a restarted sink resumes from the last acknowledged
+// frontier. Unlike Sink, the caller owns the lifecycle — call Run, then
+// Stop (graceful drain) or cancel Run's context (hard crash) — so a
+// killed sink can be replaced by a fresh incarnation that resumes where
+// the acks left off.
+func (a *App) NewDeliverySink(stream StreamID, consumer Consumer, opts DeliveryOptions) (*core.DeliverySink, error) {
+	return core.NewDeliverySink(stream, a.topology.SinkPartitions(stream), a.mgr.Env(), consumer, opts)
+}
+
 // Manager exposes the task manager (failure injection, metrics).
 func (a *App) Manager() *core.Manager { return a.mgr }
 

@@ -337,8 +337,7 @@ func BenchmarkEndToEndThroughput(b *testing.B) {
 		}
 	}
 	for {
-		recv, _, _ := sink.Counts()
-		if recv >= uint64(b.N) {
+		if sink.Counts().Received >= uint64(b.N) {
 			break
 		}
 		time.Sleep(time.Millisecond)

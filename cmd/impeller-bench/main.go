@@ -12,6 +12,7 @@
 //	impeller-bench -exp batching -query 1      # batched dataplane ablation
 //	impeller-bench -exp recovery -depths 2000,10000  # replay round trips, per-record vs batched
 //	impeller-bench -exp scaling -shards 1,2,4,8  # append throughput vs ordering shards
+//	impeller-bench -exp egress                 # delivered-record latency + sink-kill recovery
 //
 // Absolute numbers depend on the host and the latency calibration; the
 // shapes (who wins, where curves cross) are the reproduction target.
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment: table2 | fig7 | fig8 | fig9 | table4 | crossover | chaos | batching | recovery | scaling")
+		exp      = flag.String("exp", "", "experiment: table2 | fig7 | fig8 | fig9 | table4 | crossover | chaos | batching | recovery | scaling | egress")
 		rate     = flag.Int("rate", 0, "offered event rate for single-rate experiments (batching, recovery); 0 = per-query default")
 		query    = flag.Int("query", 0, "NEXMark query (fig7/fig8); 0 = all")
 		rates    = flag.String("rates", "", "comma-separated event rates (events/s)")
@@ -84,6 +85,8 @@ func main() {
 		err = runRecovery(parseRates(*depths), *rate, *simulate, *scale, progress())
 	case "scaling":
 		err = runScaling(parseRates(*shards), *clients, *duration, *scale, progress())
+	case "egress":
+		err = runEgress(*query, *rate, *duration, *simulate, *scale, progress())
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -268,6 +271,24 @@ func runScaling(shards []int, clients int, duration time.Duration, scale float64
 	bench.PrintScaling(os.Stdout, points)
 	if csvOut != nil {
 		return bench.WriteScalingCSV(csvOut, points)
+	}
+	return nil
+}
+
+func runEgress(query, rate int, duration time.Duration, simulate bool, scale float64, progress *os.File) error {
+	res, err := bench.RunEgress(bench.EgressConfig{
+		Query:    query,
+		Rate:     rate,
+		Duration: duration,
+		Simulate: simulate,
+		Scale:    scale,
+	}, progress)
+	if err != nil {
+		return err
+	}
+	bench.PrintEgress(os.Stdout, res)
+	if csvOut != nil {
+		return bench.WriteEgressCSV(csvOut, res)
 	}
 	return nil
 }

@@ -108,6 +108,26 @@ const (
 	Unsafe = core.ProtoUnsafe
 )
 
+// Consumer is the external system a transactional egress sink feeds;
+// see App.NewDeliverySink.
+type Consumer = core.Consumer
+
+// Delivery is one record handed to a Consumer, carrying its
+// exactly-once identity (Partition, Producer, Seq).
+type Delivery = core.Delivery
+
+// DeliveryOptions tunes a transactional egress sink (in-flight window,
+// dead-letter policy, frontier persistence interval).
+type DeliveryOptions = core.DeliveryOptions
+
+// DeliveryStats snapshots an egress sink's delivery counters.
+type DeliveryStats = core.DeliveryStats
+
+// PermanentError marks a consumer error as non-retryable: after
+// DeliveryOptions.PermanentAttempts such failures the record routes to
+// the dead-letter substream. Unmarked errors are retried forever.
+func PermanentError(err error) error { return core.PermanentError(err) }
+
 // WindowKey prefixes a key with window bounds; windowed aggregates emit
 // records keyed this way.
 func WindowKey(start, end int64, key []byte) []byte { return core.WindowKey(start, end, key) }

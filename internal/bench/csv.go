@@ -79,6 +79,10 @@ func WriteFig7CSV(w io.Writer, series []*Fig7Series) error {
 				strconv.FormatUint(p.Metrics.CursorPrefetchHits, 10),
 				strconv.FormatUint(p.Metrics.CursorPrefetchMisses, 10),
 				strconv.FormatUint(p.Metrics.CursorInvalidations, 10),
+				strconv.FormatUint(p.Delivery.Attempts, 10),
+				strconv.FormatUint(p.Delivery.Redelivered, 10),
+				strconv.FormatUint(p.Delivery.PermanentFailures, 10),
+				strconv.FormatUint(p.Delivery.DeadLettered, 10),
 			})
 		}
 	}
@@ -88,7 +92,8 @@ func WriteFig7CSV(w io.Writer, series []*Fig7Series) error {
 			"seq_cuts", "mean_cut_batch", "ordering_shards", "cut_skew", "wakeups", "useful_wakeups",
 			"batch_appends", "mean_append_batch", "batch_stalls",
 			"cursor_opens", "cursor_batch_reads", "cursor_records",
-			"cursor_prefetch_hits", "cursor_prefetch_misses", "cursor_invalidations"},
+			"cursor_prefetch_hits", "cursor_prefetch_misses", "cursor_invalidations",
+			"delivery_attempts", "delivery_redelivered", "delivery_permanent_failures", "delivery_dead_lettered"},
 		out)
 }
 

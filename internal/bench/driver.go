@@ -59,6 +59,12 @@ type RunConfig struct {
 	// routed across in that mode (0 means 1).
 	OrderingInterval time.Duration
 	OrderingShards   int
+	// Egress routes output through the transactional delivery sink to
+	// an in-process consumer and measures latency at the consumer's
+	// acknowledgment instead of at emission — the delivered-record
+	// latency, which includes the commit wait (records only become
+	// deliverable once their progress marker lands).
+	Egress bool
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -101,8 +107,11 @@ type RunResult struct {
 	// Log snapshots the shared log's counters at the end of the run:
 	// appends, reads by kind, cache traffic, sequencer cuts, and reader
 	// wakeups (total vs useful — with per-tag waiters the ratio is ~1).
-	Log     sharedlog.Stats
-	Elapsed time.Duration
+	Log sharedlog.Stats
+	// Delivery snapshots the egress retry layer (attempts, redeliveries,
+	// permanent failures, dead letters); zero unless Config.Egress.
+	Delivery core.DeliveryStats
+	Elapsed  time.Duration
 }
 
 // String renders the point like the paper's figures report it.
@@ -152,12 +161,26 @@ func RunNexmark(cfg RunConfig) (*RunResult, error) {
 	hist := &Hist{}
 	start := time.Now()
 	warmupUntil := start.Add(cfg.Warmup)
-	sink := app.Sink(nexmark.OutputStream(cfg.Query), false, func(r impeller.Record, _ impeller.TaskID, now time.Time) {
-		if now.Before(warmupUntil) {
-			return
+	var sink *core.Sink
+	var delivery *core.DeliverySink
+	if cfg.Egress {
+		// Delivered-record latency: the measurement point moves from the
+		// output operator's emission to the external consumer's ack.
+		delivery, err = app.NewDeliverySink(nexmark.OutputStream(cfg.Query),
+			&ackLatencyConsumer{hist: hist, warmupUntil: warmupUntil}, core.DeliveryOptions{})
+		if err != nil {
+			return nil, err
 		}
-		hist.Record(now.Sub(time.UnixMicro(r.EventTime)))
-	})
+		sink = delivery.Sink()
+		go func() { _ = delivery.Run(context.Background()) }()
+	} else {
+		sink = app.Sink(nexmark.OutputStream(cfg.Query), false, func(r impeller.Record, _ impeller.TaskID, now time.Time) {
+			if now.Before(warmupUntil) {
+				return
+			}
+			hist.Record(now.Sub(time.UnixMicro(r.EventTime)))
+		})
+	}
 
 	// Generators: each paces Rate/Generators events/s in small ticks.
 	ctx, cancel := context.WithCancel(context.Background())
@@ -213,16 +236,34 @@ func RunNexmark(cfg RunConfig) (*RunResult, error) {
 	time.Sleep(drain)
 	cancel()
 
-	received, _, _ := sink.Counts()
-	return &RunResult{
-		Config:   cfg,
-		Sent:     sent,
-		Received: received,
-		P50:      hist.Percentile(50),
-		P99:      hist.Percentile(99),
-		Mean:     hist.Mean(),
-		Metrics:  app.Metrics(),
-		Log:      cluster.LogStats(),
-		Elapsed:  time.Since(start),
-	}, nil
+	res := &RunResult{
+		Config:  cfg,
+		Sent:    sent,
+		Metrics: app.Metrics(),
+		Elapsed: time.Since(start),
+	}
+	if delivery != nil {
+		// Graceful stop: drain the in-flight window and persist the
+		// final ack frontier before reading the counters.
+		delivery.Stop()
+		res.Delivery = delivery.Stats()
+	}
+	res.Received = sink.Counts().Received
+	res.P50, res.P99, res.Mean = hist.Percentile(50), hist.Percentile(99), hist.Mean()
+	res.Log = cluster.LogStats()
+	return res, nil
+}
+
+// ackLatencyConsumer is the egress measurement consumer: event-time to
+// consumer-acknowledgment latency, recorded after warmup.
+type ackLatencyConsumer struct {
+	hist        *Hist
+	warmupUntil time.Time
+}
+
+func (c *ackLatencyConsumer) Deliver(_ context.Context, d *core.Delivery) error {
+	if now := time.Now(); now.After(c.warmupUntil) {
+		c.hist.Record(now.Sub(time.UnixMicro(d.Record.EventTime)))
+	}
+	return nil
 }

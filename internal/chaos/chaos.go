@@ -17,7 +17,15 @@
 //   - process faults (task kills, double-kills that land mid-recovery,
 //     zombie resurrection via Manager.Zombify, compute-node crashes)
 //     come from a second deterministic stream and stress recovery,
-//     restart backoff, and fencing.
+//     restart backoff, and fencing;
+//   - egress faults (hard kills of the delivery sink mid-delivery,
+//     consumer transient outages, latency spikes, and lost
+//     acknowledgments) come from a third deterministic stream and
+//     stress the transactional egress layer: every run delivers its
+//     output through a DeliverySink to an external consumer, the
+//     killed sink's replacement resumes from the persisted ack
+//     frontier, and the oracle verifies exactly-once at the consumer's
+//     applied set — the system boundary, not the commit point.
 package chaos
 
 import (
@@ -78,6 +86,15 @@ type Config struct {
 	// global cut interval (default 1 ms).
 	OrderingShards   int
 	OrderingInterval time.Duration
+	// SinkKills is the number of hard egress-sink kills (default 2;
+	// negative disables). Each kill cancels the delivery sink's context
+	// mid-delivery — no drain, no final frontier — and a fresh
+	// incarnation resumes from the last persisted ack frontier.
+	SinkKills int
+	// ConsumerFaults is the number of consumer-side fault windows
+	// (default 10; negative disables): transient-error outages, latency
+	// spikes, and lost acknowledgments, via sim.GenConsumerSchedule.
+	ConsumerFaults int
 	// Duration is the fault window; inputs are paced across it and
 	// every fault starts inside it (default 1.2 s).
 	Duration time.Duration
@@ -126,6 +143,16 @@ func (c Config) withDefaults() Config {
 		if c.OrderingInterval <= 0 {
 			c.OrderingInterval = time.Millisecond
 		}
+	}
+	if c.SinkKills < 0 {
+		c.SinkKills = 0
+	} else if c.SinkKills == 0 {
+		c.SinkKills = 2
+	}
+	if c.ConsumerFaults < 0 {
+		c.ConsumerFaults = 0
+	} else if c.ConsumerFaults == 0 {
+		c.ConsumerFaults = 10
 	}
 	if c.Duration <= 0 {
 		c.Duration = 1200 * time.Millisecond
@@ -185,7 +212,12 @@ type Plan struct {
 	Infra sim.FaultSchedule
 	// Tasks are the process faults, sorted by At.
 	Tasks []TaskFault
-	// Faults counts injected faults across both planes (a double-kill
+	// SinkKills are the offsets at which the egress delivery sink is
+	// hard-killed, sorted ascending.
+	SinkKills []time.Duration
+	// Consumer is the consumer-side fault schedule.
+	Consumer sim.ConsumerSchedule
+	// Faults counts injected faults across all planes (a double-kill
 	// counts twice; recoveries are not faults).
 	Faults int
 }
@@ -197,6 +229,10 @@ const logShards = 3 + 1
 // schedule's randomness so tuning one plane does not reshuffle the
 // other.
 const planSeedSalt = 0x9e3779b97f4a7c15
+
+// egressSeedSalt likewise decouples the egress plane (sink kills and
+// consumer faults) from the other two.
+const egressSeedSalt = 0xc2b2ae3d27d4eb4f
 
 // GenPlan deterministically generates the fault plan for a run over
 // the given task set. The same (cfg, targets) always yields the same
@@ -236,6 +272,25 @@ func GenPlan(cfg Config, targets []impeller.TaskID) Plan {
 		MaxDownB: 1,
 	})}
 	plan.Faults = plan.Infra.Faults
+
+	// Egress plane: sink kills land in the middle stretch of the window
+	// — late enough that acks have been persisted (so resume is a real
+	// mid-stream restart), early enough that input still flows while the
+	// replacement catches up. Consumer fault windows cover the whole run.
+	ern := sim.NewRand(cfg.Seed ^ egressSeedSalt)
+	for i := 0; i < cfg.SinkKills; i++ {
+		lo, hi := cfg.Duration/4, cfg.Duration*9/10
+		plan.SinkKills = append(plan.SinkKills, lo+time.Duration(ern.Int63()%int64(hi-lo)))
+		plan.Faults++
+	}
+	sort.Slice(plan.SinkKills, func(i, j int) bool { return plan.SinkKills[i] < plan.SinkKills[j] })
+	if cfg.ConsumerFaults > 0 {
+		plan.Consumer = sim.GenConsumerSchedule(cfg.Seed^egressSeedSalt, sim.ConsumerScheduleConfig{
+			Duration: cfg.Duration,
+			Faults:   cfg.ConsumerFaults,
+		})
+		plan.Faults += plan.Consumer.Faults
+	}
 
 	sorted := append([]impeller.TaskID(nil), targets...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
@@ -291,10 +346,26 @@ type Result struct {
 	// the subset the oracle tracks.
 	Sent uint64
 	Bids int
-	// Delivered / Duplicates / DroppedUncommitted are the gated sink's
-	// counters: distinct records delivered, replayed records suppressed
-	// by sequence-number dedup, and uncommitted records discarded.
+	// Delivered is the external consumer's distinct applied count — the
+	// exactly-once measurement point. Duplicates / DroppedUncommitted
+	// are the gated sinks' counters summed across incarnations: replayed
+	// records suppressed by sequence-number dedup and uncommitted
+	// records discarded.
 	Delivered, Duplicates, DroppedUncommitted uint64
+	// Delivery aggregates the delivery sinks' counters (attempts,
+	// redeliveries, transient errors, dead letters, frontier persists)
+	// across incarnations; SinkIncarnations counts delivery-sink
+	// processes (1 + kills).
+	Delivery         core.DeliveryStats
+	SinkIncarnations int
+	// ConsumerDeduped counts duplicate deliveries absorbed by the
+	// consumer's sequence-number dedupe (sink restarts, lost acks);
+	// ConsumerAcksLost counts acknowledgments the fault plane dropped
+	// after the record was applied.
+	ConsumerDeduped, ConsumerAcksLost uint64
+	// RecoverToDeliver is the longest gap between a sink kill and the
+	// replacement's first successful delivery.
+	RecoverToDeliver time.Duration
 	// Restarts sums task restarts; Zombified counts zombies actually
 	// planted (a zombify racing a concurrent restart may miss).
 	Restarts, Zombified int
@@ -319,9 +390,11 @@ func (r *Result) String() string {
 	} else if !r.Converged {
 		status = "STUCK"
 	}
-	return fmt.Sprintf("q%-2d %-18s seed=%-3d faults=%-2d restarts=%-2d retries=%-4d fenced=%-2d maxrec=%-8v %s",
+	return fmt.Sprintf("q%-2d %-18s seed=%-3d faults=%-2d restarts=%-2d retries=%-4d fenced=%-2d maxrec=%-8v sinks=%d redel=%-3d dedup=%-3d rtd=%-8v %s",
 		r.Config.Query, r.Config.Protocol, r.Config.Seed, r.Plan.Faults,
-		r.Restarts, r.Retries, r.CondFailed, r.MaxRecovery.Round(100*time.Microsecond), status)
+		r.Restarts, r.Retries, r.CondFailed, r.MaxRecovery.Round(100*time.Microsecond),
+		r.SinkIncarnations, r.Delivery.Redelivered, r.ConsumerDeduped,
+		r.RecoverToDeliver.Round(100*time.Microsecond), status)
 }
 
 // eventSpacing returns the synthetic event-time step for a query,
@@ -381,16 +454,23 @@ func Run(cfg Config) (*Result, error) {
 	plan := GenPlan(cfg, mgr.TaskIDs())
 	res := &Result{Config: cfg, Plan: plan}
 
+	// Egress: output flows through a transactional delivery sink to an
+	// external consumer whose state (and dedupe floors) outlives sink
+	// incarnations; the oracle watches the consumer's applied set. The
+	// consumer itself is wrapped in the plan's fault schedule.
+	runCtx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	outs := newOutputs()
-	sink := app.Sink(nexmark.OutputStream(cfg.Query), true, func(r impeller.Record, _ impeller.TaskID, _ time.Time) {
-		outs.add(r.Key, r.Value)
-	})
+	cons := newEgressConsumer(outs)
+	faulty := newFaultyConsumer(cons, plan.Consumer)
+	runner := newEgressRunner(app, nexmark.OutputStream(cfg.Query), faulty, core.DeliveryOptions{})
+	if !runner.launch(runCtx) {
+		return nil, fmt.Errorf("chaos: egress sink never started")
+	}
 
 	// Input: each generator paces Events records across the fault
 	// window with deterministic synthetic event times; the oracle
 	// records every event before it is sent.
-	runCtx, cancel := context.WithCancel(context.Background())
-	defer cancel()
 	var wg sync.WaitGroup
 	spacing := eventSpacing(cfg.Query)
 	pace := cfg.Duration / time.Duration(cfg.Events)
@@ -425,6 +505,28 @@ func Run(cfg Config) (*Result, error) {
 	go func() {
 		defer wg.Done()
 		plan.Infra.Play(playCtx, nil, faults)
+	}()
+	// Egress fault plane: hard-kill the delivery sink at each scheduled
+	// instant and immediately start a replacement, which resumes from
+	// the persisted ack frontier.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t0 := time.Now()
+		for _, at := range plan.SinkKills {
+			if wait := at - time.Since(t0); wait > 0 {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-time.After(wait):
+				}
+			}
+			runner.kill()
+			cons.noteRestart()
+			if !runner.launch(runCtx) {
+				return
+			}
+		}
 	}()
 	var zombified int64
 	var zmu sync.Mutex
@@ -501,6 +603,16 @@ func Run(cfg Config) (*Result, error) {
 		time.Sleep(20 * time.Millisecond)
 	}
 
+	// Graceful final stop: drain the window, persist the last frontier,
+	// then collect the egress counters aggregated across incarnations.
+	runner.finish()
+	stats, counts, incarnations := runner.snapshot()
+	res.Delivery = stats
+	res.SinkIncarnations = incarnations
+	res.Duplicates, res.DroppedUncommitted = counts.Duplicates, counts.DroppedUncommitted
+	res.Delivered, res.ConsumerDeduped, res.RecoverToDeliver = cons.snapshot()
+	_, _, res.ConsumerAcksLost = faulty.injected()
+
 	res.Sent = app.InputCount()
 	res.Bids = orc.inputs()
 	res.Zombified = int(zombified)
@@ -516,7 +628,6 @@ func Run(cfg Config) (*Result, error) {
 	res.Retries = qm.Retries
 	res.DecodeFailures = qm.CheckpointDecodeFailures
 	res.CondFailed = cluster.LogStats().CondFailed
-	res.Delivered, res.Duplicates, res.DroppedUncommitted = sink.Counts()
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 	"testing"
+	"time"
 
 	"impeller"
 )
@@ -46,6 +47,7 @@ func TestChaos(t *testing.T) {
 				if res.Restarts == 0 {
 					t.Fatal("no task ever restarted; the schedule injected nothing")
 				}
+				assertEgress(t, res)
 				if proto == impeller.ProgressMarker {
 					if res.Zombified == 0 {
 						t.Fatal("no zombie was ever planted")
@@ -56,6 +58,66 @@ func TestChaos(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// assertEgress checks the transactional egress layer's invariants on a
+// converged run: the killed sink's replacements actually resumed from a
+// persisted frontier, redelivered work was absorbed by the consumer's
+// dedupe rather than double-applied (the oracle would have flagged a
+// double-apply as a violation), and nothing was dead-lettered — the
+// fault plane injects only transient consumer errors.
+func assertEgress(t *testing.T, res *Result) {
+	t.Helper()
+	wantSinks := res.Config.SinkKills + 1
+	if res.SinkIncarnations != wantSinks {
+		t.Fatalf("egress ran %d sink incarnations, want %d", res.SinkIncarnations, wantSinks)
+	}
+	if !res.Delivery.Resumed {
+		t.Fatal("no sink incarnation ever resumed from a persisted ack frontier")
+	}
+	if res.Delivery.DeadLettered != 0 {
+		t.Fatalf("%d records dead-lettered under purely transient faults", res.Delivery.DeadLettered)
+	}
+	if res.Delivery.TransientErrors == 0 {
+		t.Fatal("no consumer fault window ever rejected a delivery")
+	}
+	if res.RecoverToDeliver <= 0 {
+		t.Fatal("no delivery observed after a sink kill (recovery-to-first-delivery unmeasured)")
+	}
+	// Every consumer apply is either a distinct record or an absorbed
+	// duplicate, and every apply was acked except the ones whose ack the
+	// fault plane dropped: distinct + deduped = acked + acksLost.
+	if res.Delivered == 0 || res.Delivered+res.ConsumerDeduped != res.Delivery.Delivered+res.ConsumerAcksLost {
+		t.Fatalf("consumer applied %d distinct + %d deduped; sink acked %d with %d acks lost",
+			res.Delivered, res.ConsumerDeduped, res.Delivery.Delivered, res.ConsumerAcksLost)
+	}
+}
+
+// TestChaosShards4 runs the matrix's hardest ordering configuration:
+// four sequencer shards, so the global cut aggregates across twice as
+// many crash/delay targets as the default, on top of the full egress
+// fault plane. One cell per protocol keeps the runtime bounded.
+func TestChaosShards4(t *testing.T) {
+	queries := []int{1, 11, 12}
+	for i, proto := range protocols {
+		proto, query := proto, queries[i]
+		t.Run(fmt.Sprintf("q%d-%s", query, proto), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Config{Query: query, Protocol: proto, Seed: 11, OrderingShards: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Log(res)
+			if res.Violation != "" {
+				t.Fatalf("exactly-once violation: %s", res.Violation)
+			}
+			if !res.Converged {
+				t.Fatalf("output never converged: sent=%d bids=%d delivered=%d restarts=%d",
+					res.Sent, res.Bids, res.Delivered, res.Restarts)
+			}
+			assertEgress(t, res)
+		})
 	}
 }
 
@@ -81,7 +143,25 @@ func TestGenPlanDeterministic(t *testing.T) {
 	if p1.Faults < 20 {
 		t.Fatalf("default plan has %d faults, want >= 20", p1.Faults)
 	}
+	// The egress plane is part of the plan: two sink kills inside the
+	// window, sorted, plus the consumer fault schedule.
+	if len(p1.SinkKills) != 2 {
+		t.Fatalf("plan has %d sink kills, want 2", len(p1.SinkKills))
+	}
+	for i, at := range p1.SinkKills {
+		if at <= 0 || at >= cfgDuration(cfg) {
+			t.Fatalf("sink kill %d at %v is outside the fault window", i, at)
+		}
+		if i > 0 && at < p1.SinkKills[i-1] {
+			t.Fatal("sink kills are not sorted")
+		}
+	}
+	if p1.Consumer.Faults < 10 {
+		t.Fatalf("consumer schedule has %d fault windows, want >= 10", p1.Consumer.Faults)
+	}
 }
+
+func cfgDuration(c Config) (d time.Duration) { return c.withDefaults().Duration }
 
 // TestGenPlanAlignedHasNoZombies: aligned-checkpoint runs convert
 // zombies to kills (no fencing race to exercise) without shrinking

@@ -63,8 +63,18 @@ const (
 	// KindChange is a batch of state-change records in a task's change
 	// log substream (paper §3.2, "Supporting fault tolerance").
 	KindChange
+	// KindEgressFrontier is a delivery sink's persisted ack frontier:
+	// the resume LSN plus the highest consumer-acknowledged sequence
+	// number per (partition, producer). A restarted sink reads the
+	// latest one from its egress-offsets substream and resumes there
+	// instead of re-reading (and re-delivering) from zero.
+	KindEgressFrontier
+	// KindDeadLetter wraps an output record that exhausted its
+	// permanent-error delivery attempts; it is appended to the sink's
+	// dead-letter substream so the pipeline drains instead of wedging.
+	KindDeadLetter
 
-	kindMax = KindChange
+	kindMax = KindDeadLetter
 )
 
 func (k Kind) String() string {
@@ -87,6 +97,10 @@ func (k Kind) String() string {
 		return "barrier"
 	case KindChange:
 		return "change"
+	case KindEgressFrontier:
+		return "egress-frontier"
+	case KindDeadLetter:
+		return "dead-letter"
 	default:
 		return fmt.Sprintf("kind(%d)", byte(k))
 	}

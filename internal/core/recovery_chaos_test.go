@@ -190,7 +190,8 @@ func TestZombieFencedAppendRejected(t *testing.T) {
 		want[k] += v
 	}
 	c.waitCounts(want, 30*time.Second)
-	received, dups, _ := c.sink.Counts()
+	counts := c.sink.Counts()
+	received, dups := counts.Received, counts.Duplicates
 	if dups != 0 {
 		t.Fatalf("gated sink saw %d duplicate deliveries", dups)
 	}

@@ -192,8 +192,8 @@ func TestUngatedSinkSeesUncommitted(t *testing.T) {
 			time.Sleep(5 * time.Millisecond)
 		}
 	}
-	waitFor("ungated delivery", func() bool { n, _, _ := ungated.Counts(); return n == 1 })
-	if n, _, _ := gated.Counts(); n != 0 {
+	waitFor("ungated delivery", func() bool { return ungated.Counts().Received == 1 })
+	if n := gated.Counts().Received; n != 0 {
 		t.Fatal("gated sink delivered uncommitted record")
 	}
 
@@ -204,7 +204,7 @@ func TestUngatedSinkSeesUncommitted(t *testing.T) {
 	if _, err := env.Log.Append([]sharedlog.Tag{DataTag("out", 0)}, mb.Encode()); err != nil {
 		t.Fatal(err)
 	}
-	waitFor("gated delivery after marker", func() bool { n, _, _ := gated.Counts(); return n == 1 })
+	waitFor("gated delivery after marker", func() bool { return gated.Counts().Received == 1 })
 }
 
 func TestGatedSinkDiscardsUncommitted(t *testing.T) {
@@ -231,12 +231,12 @@ func TestGatedSinkDiscardsUncommitted(t *testing.T) {
 
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		n, _, dropped := gated.Counts()
-		if dropped == 1 && n == 0 {
+		c := gated.Counts()
+		if c.DroppedUncommitted == 1 && c.Received == 0 {
 			return
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("orphan not discarded: delivered=%d dropped=%d", n, dropped)
+			t.Fatalf("orphan not discarded: delivered=%d dropped=%d", c.Received, c.DroppedUncommitted)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
@@ -307,15 +307,15 @@ func TestManagerRestartsOnProcessorError(t *testing.T) {
 
 	deadline := time.Now().Add(15 * time.Second)
 	for {
-		n, dups, _ := sink.Counts()
-		if n == 1 && dups == 0 {
+		c := sink.Counts()
+		if c.Received == 1 && c.Duplicates == 0 {
 			if mgr.Restarts("fo/s/0") == 0 {
 				t.Fatal("task was not restarted after processor error")
 			}
 			return
 		}
-		if n > 1 {
-			t.Fatalf("record delivered %d times", n)
+		if c.Received > 1 {
+			t.Fatalf("record delivered %d times", c.Received)
 		}
 		if time.Now().After(deadline) {
 			t.Fatalf("record never delivered (restarts=%d)", mgr.Restarts("fo/s/0"))

@@ -46,6 +46,21 @@ func OffsetStreamTag(task TaskID) sharedlog.Tag {
 	return sharedlog.Tag("L/" + string(task))
 }
 
+// EgressOffsetsTag returns the egress-offsets substream tag for a named
+// delivery sink over a stream. It carries KindEgressFrontier records:
+// the sink's consumer-acknowledged delivery frontier, read back on
+// restart so delivery resumes from the last ack instead of from zero.
+func EgressOffsetsTag(stream StreamID, sink string) sharedlog.Tag {
+	return sharedlog.Tag(fmt.Sprintf("E/%s/%s", stream, sink))
+}
+
+// DeadLetterTag returns the dead-letter substream tag for a named
+// delivery sink: output records that exhausted their permanent-error
+// delivery budget are parked here instead of wedging the pipeline.
+func DeadLetterTag(stream StreamID, sink string) sharedlog.Tag {
+	return sharedlog.Tag(fmt.Sprintf("DL/%s/%s", stream, sink))
+}
+
 // InstanceKey returns the metadata-store key holding a task's current
 // instance number (paper §3.4). Conditional appends guard against it.
 func InstanceKey(task TaskID) string {

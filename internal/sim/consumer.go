@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// ConsumerFaultKind is the kind of one consumer-side fault window: how
+// an external egress consumer misbehaves while the window is active.
+type ConsumerFaultKind int
+
+const (
+	// ConsumerTransient makes every delivery attempt fail with a
+	// retryable error — a consumer outage the sink must wait out with
+	// backoff while its in-flight window applies backpressure.
+	ConsumerTransient ConsumerFaultKind = iota
+	// ConsumerLatency makes the consumer slow: each delivery stalls for
+	// the window's Delay before being applied.
+	ConsumerLatency
+	// ConsumerAckLoss makes the consumer apply a delivery but lose the
+	// acknowledgment — the duplicate-ack replay: the sink retries and
+	// the consumer's sequence-number dedupe must absorb the duplicate.
+	ConsumerAckLoss
+)
+
+func (k ConsumerFaultKind) String() string {
+	switch k {
+	case ConsumerTransient:
+		return "consumer-transient"
+	case ConsumerLatency:
+		return "consumer-latency"
+	case ConsumerAckLoss:
+		return "consumer-ack-loss"
+	}
+	return fmt.Sprintf("consumer-fault(%d)", int(k))
+}
+
+// ConsumerFault is one active fault window [Start, End) relative to the
+// run's start. Delay is set only for ConsumerLatency.
+type ConsumerFault struct {
+	Start, End time.Duration
+	Kind       ConsumerFaultKind
+	Delay      time.Duration
+}
+
+func (f ConsumerFault) String() string {
+	if f.Kind == ConsumerLatency {
+		return fmt.Sprintf("%8v-%v %s +%v", f.Start, f.End, f.Kind, f.Delay)
+	}
+	return fmt.Sprintf("%8v-%v %s", f.Start, f.End, f.Kind)
+}
+
+// ConsumerSchedule is a deterministic sequence of non-overlapping
+// consumer fault windows sorted by Start. The same (seed, config) pair
+// always generates the same schedule.
+type ConsumerSchedule struct {
+	Seed    uint64
+	Windows []ConsumerFault
+	Faults  int
+}
+
+// Active returns the window covering offset at, or nil when the
+// consumer is healthy at that instant.
+func (s ConsumerSchedule) Active(at time.Duration) *ConsumerFault {
+	for i := range s.Windows {
+		w := &s.Windows[i]
+		if at >= w.Start && at < w.End {
+			return w
+		}
+		if w.Start > at {
+			break // sorted: nothing later can cover at
+		}
+	}
+	return nil
+}
+
+// ConsumerScheduleConfig bounds what GenConsumerSchedule may inject.
+type ConsumerScheduleConfig struct {
+	// Duration is the fault window; every fault starts inside it.
+	Duration time.Duration
+	// Faults is the number of fault windows to place (default 10).
+	Faults int
+	// MinOutage/MaxOutage bound each window's length (defaults
+	// 5 ms / 60 ms).
+	MinOutage time.Duration
+	MaxOutage time.Duration
+	// MaxDelay bounds a latency window's per-delivery stall
+	// (default 2 ms).
+	MaxDelay time.Duration
+}
+
+func (c ConsumerScheduleConfig) withDefaults() ConsumerScheduleConfig {
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.Faults <= 0 {
+		c.Faults = 10
+	}
+	if c.MinOutage <= 0 {
+		c.MinOutage = 5 * time.Millisecond
+	}
+	if c.MaxOutage <= c.MinOutage {
+		c.MaxOutage = c.MinOutage + 55*time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	return c
+}
+
+// GenConsumerSchedule deterministically generates a consumer fault
+// schedule from seed. Windows never overlap — there is one consumer, so
+// overlapping faults would shadow each other — and every window closes,
+// leaving the consumer healthy after the last one.
+func GenConsumerSchedule(seed uint64, cfg ConsumerScheduleConfig) ConsumerSchedule {
+	cfg = cfg.withDefaults()
+	rng := NewRand(seed)
+	rnd := func(d time.Duration) time.Duration { return time.Duration(rng.Int63() % int64(d)) }
+	kinds := []ConsumerFaultKind{ConsumerTransient, ConsumerLatency, ConsumerAckLoss}
+	sched := ConsumerSchedule{Seed: seed}
+	var placed []interval
+	for sched.Faults < cfg.Faults {
+		ok := false
+		for try := 0; try < 64 && !ok; try++ {
+			start := rnd(cfg.Duration)
+			end := start + cfg.MinOutage + rnd(cfg.MaxOutage-cfg.MinOutage)
+			if _, others := overlaps(placed, start, end, ""); others > 0 {
+				continue
+			}
+			w := ConsumerFault{Start: start, End: end, Kind: kinds[rng.Intn(len(kinds))]}
+			if w.Kind == ConsumerLatency {
+				w.Delay = time.Duration(1 + rng.Int63()%int64(cfg.MaxDelay)) // >= 1ns
+			}
+			placed = append(placed, interval{start, end, "c"})
+			sched.Windows = append(sched.Windows, w)
+			ok = true
+		}
+		if !ok {
+			break // window saturated; return what fits
+		}
+		sched.Faults++
+	}
+	sort.SliceStable(sched.Windows, func(i, j int) bool {
+		return sched.Windows[i].Start < sched.Windows[j].Start
+	})
+	return sched
+}

@@ -161,3 +161,40 @@ func TestFaultInjectorDelaysAndReset(t *testing.T) {
 		t.Fatal("Reset left faults active")
 	}
 }
+
+// TestGenConsumerScheduleDeterministic: same seed, same windows;
+// windows never overlap (one consumer — overlapping faults would
+// shadow each other) and every window closes inside sane bounds.
+func TestGenConsumerScheduleDeterministic(t *testing.T) {
+	cfg := ConsumerScheduleConfig{Duration: time.Second, Faults: 10}
+	s1 := GenConsumerSchedule(9, cfg)
+	s2 := GenConsumerSchedule(9, cfg)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("same seed produced different consumer schedules")
+	}
+	if s3 := GenConsumerSchedule(10, cfg); reflect.DeepEqual(s1.Windows, s3.Windows) {
+		t.Fatal("different seed produced the same consumer schedule")
+	}
+	if s1.Faults != 10 || len(s1.Windows) != 10 {
+		t.Fatalf("placed %d windows, want 10", len(s1.Windows))
+	}
+	for i, w := range s1.Windows {
+		if w.Start < 0 || w.Start >= cfg.Duration || w.End <= w.Start {
+			t.Fatalf("window %d has bad bounds: %v", i, w)
+		}
+		if w.Kind == ConsumerLatency && w.Delay <= 0 {
+			t.Fatalf("latency window %d has no delay", i)
+		}
+		if i > 0 && w.Start < s1.Windows[i-1].End {
+			t.Fatalf("windows %d and %d overlap", i-1, i)
+		}
+	}
+	// Active is a point query over the sorted windows.
+	w0 := s1.Windows[0]
+	if got := s1.Active(w0.Start); got == nil || *got != w0 {
+		t.Fatal("Active missed the first window's start")
+	}
+	if s1.Active(w0.End) == &s1.Windows[0] {
+		t.Fatal("Active treated a closed window as active")
+	}
+}
