@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench bench-compare chaos alloc recovery-smoke scaling-smoke egress-smoke
+.PHONY: check build vet fmt test race bench bench-compare chaos alloc recovery-smoke scaling-smoke egress-smoke tasklet-smoke
 
 # check is the full gate: build, vet, formatting, unit tests, the
 # race-detector run over the packages with real concurrency, the
-# short seeded chaos suite, and the recovery, scaling, and egress
-# smokes.
-check: build vet fmt test race chaos recovery-smoke scaling-smoke egress-smoke
+# short seeded chaos suite, and the recovery, scaling, egress, and
+# tasklet smokes.
+check: build vet fmt test race chaos recovery-smoke scaling-smoke egress-smoke tasklet-smoke
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,14 @@ scaling-smoke:
 # results/egress.csv (see EXPERIMENTS.md).
 egress-smoke:
 	$(GO) run ./cmd/impeller-bench -exp egress -duration 800ms -scale 0.05
+
+# tasklet-smoke runs the same deterministic NEXMark pipeline on the
+# goroutine and tasklet engines and fails on any output divergence
+# (oracle-verified, value-exact), as a fast sibling of the chaos gate.
+# The tail-latency comparison with the committed numbers is
+# results/tasklet.md (see EXPERIMENTS.md).
+tasklet-smoke:
+	$(GO) run ./cmd/impeller-bench -exp tasklet-smoke
 
 # bench runs the sharedlog micro-benchmarks (no -race; see results/).
 bench:

@@ -13,6 +13,12 @@
 //	impeller-bench -exp recovery -depths 2000,10000  # replay round trips, per-record vs batched
 //	impeller-bench -exp scaling -shards 1,2,4,8  # append throughput vs ordering shards
 //	impeller-bench -exp egress                 # delivered-record latency + sink-kill recovery
+//	impeller-bench -exp tail -tpc 1,2,4,8      # deep-tail latency, goroutine vs tasklet engine
+//	impeller-bench -exp tasklet-smoke          # output equivalence across engines
+//
+// Any experiment accepts -engine tasklet to run on the cooperative
+// tasklet engine, and -cpuprofile/-traceprofile to capture runtime
+// profiles of the run.
 //
 // Absolute numbers depend on the host and the latency calibration; the
 // shapes (who wins, where curves cross) are the reproduction target.
@@ -23,16 +29,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	"runtime/trace"
 	"strconv"
 	"strings"
 	"time"
 
+	"impeller"
 	"impeller/internal/bench"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment: table2 | fig7 | fig8 | fig9 | table4 | crossover | chaos | batching | recovery | scaling | egress")
+		exp      = flag.String("exp", "", "experiment: table2 | fig7 | fig8 | fig9 | table4 | crossover | chaos | batching | recovery | scaling | egress | tail | tasklet-smoke")
 		rate     = flag.Int("rate", 0, "offered event rate for single-rate experiments (batching, recovery); 0 = per-query default")
 		query    = flag.Int("query", 0, "NEXMark query (fig7/fig8); 0 = all")
 		rates    = flag.String("rates", "", "comma-separated event rates (events/s)")
@@ -44,8 +53,17 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "scale factor on simulated latencies")
 		verbose  = flag.Bool("v", false, "print every point as it completes")
 		csvPath  = flag.String("csv", "", "also write machine-readable results to this CSV file")
+		engine   = flag.String("engine", "", "task execution engine: goroutine (default) | tasklet")
+		tpc      = flag.String("tpc", "", "comma-separated tasks-per-core densities for -exp tail")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		trcProf  = flag.String("traceprofile", "", "write a runtime execution trace of the run to this file")
 	)
 	flag.Parse()
+	engineMode, err := impeller.ParseEngineMode(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "impeller-bench:", err)
+		os.Exit(2)
+	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
@@ -63,12 +81,17 @@ func main() {
 		return nil
 	}
 
-	var err error
+	stopProfiles, err := startProfiles(*cpuProf, *trcProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "impeller-bench:", err)
+		os.Exit(1)
+	}
+
 	switch *exp {
 	case "table2":
 		err = runTable2(parseRates(*rates), *duration)
 	case "fig7":
-		err = runFig7(*query, parseRates(*rates), *duration, *simulate, *scale, progress())
+		err = runFig7(*query, parseRates(*rates), *duration, *simulate, *scale, engineMode, progress())
 	case "fig8":
 		err = runFig8(*query, *duration, *simulate, *scale, progress())
 	case "fig9":
@@ -78,7 +101,7 @@ func main() {
 	case "crossover":
 		err = runCrossover(*query, *duration, *simulate, *scale, progress())
 	case "chaos":
-		err = runChaos(*query, progress())
+		err = runChaos(*query, engineMode, progress())
 	case "batching":
 		err = runBatching(*query, *rate, *duration, *simulate, *scale, progress())
 	case "recovery":
@@ -87,14 +110,60 @@ func main() {
 		err = runScaling(parseRates(*shards), *clients, *duration, *scale, progress())
 	case "egress":
 		err = runEgress(*query, *rate, *duration, *simulate, *scale, progress())
+	case "tail":
+		err = runTail(*query, *rate, parseRates(*tpc), *duration, *simulate, *scale, progress())
+	case "tasklet-smoke":
+		err = runTaskletSmoke(*query, progress())
 	default:
+		stopProfiles()
 		flag.Usage()
 		os.Exit(2)
 	}
+	stopProfiles()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "impeller-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// startProfiles turns on the requested CPU profile and execution trace;
+// the returned stop function flushes and closes both. Profiles cover
+// the experiment body only, not flag parsing.
+func startProfiles(cpuPath, tracePath string) (func(), error) {
+	var stops []func()
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stops = append(stops, func() { pprof.StopCPUProfile(); f.Close() })
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			for _, s := range stops {
+				s()
+			}
+			return nil, err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			for _, s := range stops {
+				s()
+			}
+			return nil, err
+		}
+		stops = append(stops, func() { trace.Stop(); f.Close() })
+	}
+	return func() {
+		for _, s := range stops {
+			s()
+		}
+	}, nil
 }
 
 // csvOut, when non-nil, receives machine-readable results.
@@ -128,7 +197,7 @@ func runTable2(rates []int, duration time.Duration) error {
 	return nil
 }
 
-func runFig7(query int, rates []int, duration time.Duration, simulate bool, scale float64, progress *os.File) error {
+func runFig7(query int, rates []int, duration time.Duration, simulate bool, scale float64, engine impeller.EngineMode, progress *os.File) error {
 	queries := []int{query}
 	if query == 0 {
 		queries = []int{1, 2, 3, 4, 5, 6, 7, 8}
@@ -140,6 +209,7 @@ func runFig7(query int, rates []int, duration time.Duration, simulate bool, scal
 			Duration: duration,
 			Simulate: simulate,
 			Scale:    scale,
+			Engine:   engine,
 		}, progress)
 		if err != nil {
 			return err
@@ -293,8 +363,8 @@ func runEgress(query, rate int, duration time.Duration, simulate bool, scale flo
 	return nil
 }
 
-func runChaos(query int, progress *os.File) error {
-	cfg := bench.ChaosConfig{}
+func runChaos(query int, engine impeller.EngineMode, progress *os.File) error {
+	cfg := bench.ChaosConfig{Engine: engine}
 	if query != 0 {
 		cfg.Queries = []int{query}
 	}
@@ -303,5 +373,34 @@ func runChaos(query int, progress *os.File) error {
 		return err
 	}
 	bench.PrintChaosTable(os.Stdout, rows)
+	return nil
+}
+
+func runTail(query, rate int, tpc []int, duration time.Duration, simulate bool, scale float64, progress *os.File) error {
+	cfg := bench.TailConfig{
+		Query:        query,
+		Rate:         rate,
+		TasksPerCore: tpc,
+		Duration:     duration,
+		Simulate:     simulate,
+		Scale:        scale,
+	}
+	points, err := bench.RunTail(cfg, progress)
+	if err != nil {
+		return err
+	}
+	bench.PrintTail(os.Stdout, cfg, points)
+	if csvOut != nil {
+		return bench.WriteTailCSV(csvOut, points)
+	}
+	return nil
+}
+
+func runTaskletSmoke(query int, progress *os.File) error {
+	rows, err := bench.RunTaskletSmoke(query, progress)
+	if err != nil {
+		return err
+	}
+	bench.PrintSmoke(os.Stdout, query, rows)
 	return nil
 }

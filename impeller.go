@@ -95,6 +95,22 @@ type ProcessorFunc = core.ProcessorFunc
 // Protocol selects the fault-tolerance protocol (paper §5.1).
 type Protocol = core.FTProtocol
 
+// EngineMode selects the task execution engine.
+type EngineMode = core.EngineMode
+
+// The two execution engines.
+const (
+	// EngineGoroutine runs one goroutine per task (the default).
+	EngineGoroutine = core.EngineGoroutine
+	// EngineTasklet runs tasks as cooperative tasklets on a fixed pool
+	// of per-core event loops (tail-latency oriented).
+	EngineTasklet = core.EngineTasklet
+)
+
+// ParseEngineMode parses "goroutine" or "tasklet" (empty selects
+// goroutine), as accepted by impeller-bench -engine.
+func ParseEngineMode(s string) (EngineMode, error) { return core.ParseEngineMode(s) }
+
 // The four protocols the paper evaluates.
 const (
 	// ProgressMarker is Impeller's protocol (paper §3).
@@ -209,6 +225,13 @@ type ClusterConfig struct {
 	// to per-record reads with readahead disabled — the ablation
 	// baseline.
 	ReadBatchRecords int
+	// Engine selects the task execution engine: EngineGoroutine (one
+	// goroutine per task, the default) or EngineTasklet (cooperative
+	// tasklets on per-core event loops).
+	Engine EngineMode
+	// EngineLoops overrides the tasklet engine's worker-loop count; 0
+	// selects GOMAXPROCS. Ignored on the goroutine engine.
+	EngineLoops int
 }
 
 // Cluster is an in-process Impeller deployment: a shared log, a
@@ -303,7 +326,9 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 			Linger:     cfg.BatchLinger,
 			Window:     cfg.BatchWindow,
 		},
-		ReadBatch: cfg.ReadBatchRecords,
+		ReadBatch:   cfg.ReadBatchRecords,
+		Engine:      cfg.Engine,
+		EngineLoops: cfg.EngineLoops,
 	}
 	if cfg.EnableGC {
 		c.env.GC = core.NewGCController(c.log)

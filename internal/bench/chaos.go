@@ -26,6 +26,8 @@ type ChaosConfig struct {
 	Protocols []impeller.Protocol
 	// Seeds select the fault schedules (default 7, 21, 42).
 	Seeds []uint64
+	// Engine selects the task execution engine (goroutine or tasklet).
+	Engine impeller.EngineMode
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -50,7 +52,7 @@ func RunChaosTable(cfg ChaosConfig, progress io.Writer) ([]*chaos.Result, error)
 	for _, seed := range cfg.Seeds {
 		for _, q := range cfg.Queries {
 			for _, proto := range cfg.Protocols {
-				res, err := chaos.Run(chaos.Config{Query: q, Protocol: proto, Seed: seed})
+				res, err := chaos.Run(chaos.Config{Query: q, Protocol: proto, Seed: seed, Engine: cfg.Engine})
 				if err != nil {
 					return rows, err
 				}

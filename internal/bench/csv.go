@@ -57,7 +57,7 @@ func WriteFig7CSV(w io.Writer, series []*Fig7Series) error {
 				strconv.Itoa(s.Query),
 				s.Protocol.String(),
 				strconv.Itoa(p.Config.Rate),
-				us(p.P50), us(p.P99), us(p.Mean),
+				us(p.P50), us(p.P99), us(p.P999), us(p.P9999), us(p.Mean),
 				strconv.FormatUint(p.Sent, 10),
 				strconv.FormatUint(p.Received, 10),
 				strconv.FormatUint(p.Log.Appends, 10),
@@ -87,7 +87,7 @@ func WriteFig7CSV(w io.Writer, series []*Fig7Series) error {
 		}
 	}
 	return writeCSV(w,
-		[]string{"query", "protocol", "rate_eps", "p50_us", "p99_us", "mean_us", "sent", "received",
+		[]string{"query", "protocol", "rate_eps", "p50_us", "p99_us", "p999_us", "p9999_us", "mean_us", "sent", "received",
 			"log_appends", "log_reads", "cache_hits", "cache_misses",
 			"seq_cuts", "mean_cut_batch", "ordering_shards", "cut_skew", "wakeups", "useful_wakeups",
 			"batch_appends", "mean_append_batch", "batch_stalls",

@@ -65,6 +65,8 @@ type RunConfig struct {
 	// latency, which includes the commit wait (records only become
 	// deliverable once their progress marker lands).
 	Egress bool
+	// Engine selects the task execution engine (goroutine or tasklet).
+	Engine impeller.EngineMode
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -102,8 +104,11 @@ type RunResult struct {
 	Sent     uint64
 	Received uint64
 	P50, P99 time.Duration
-	Mean     time.Duration
-	Metrics  core.QueryMetrics
+	// P999 and P9999 are the deep-tail quantiles (p99.9, p99.99) the
+	// scheduler-jitter experiments target.
+	P999, P9999 time.Duration
+	Mean        time.Duration
+	Metrics     core.QueryMetrics
 	// Log snapshots the shared log's counters at the end of the run:
 	// appends, reads by kind, cache traffic, sequencer cuts, and reader
 	// wakeups (total vs useful — with per-tag waiters the ratio is ~1).
@@ -145,6 +150,7 @@ func RunNexmark(cfg RunConfig) (*RunResult, error) {
 		ReadBatchRecords:     cfg.ReadBatchRecords,
 		OrderingInterval:     cfg.OrderingInterval,
 		OrderingShards:       cfg.OrderingShards,
+		Engine:               cfg.Engine,
 	})
 	defer cluster.Close()
 
@@ -250,6 +256,7 @@ func RunNexmark(cfg RunConfig) (*RunResult, error) {
 	}
 	res.Received = sink.Counts().Received
 	res.P50, res.P99, res.Mean = hist.Percentile(50), hist.Percentile(99), hist.Mean()
+	res.P999, res.P9999 = hist.Percentile(99.9), hist.Percentile(99.99)
 	res.Log = cluster.LogStats()
 	return res, nil
 }

@@ -25,6 +25,8 @@ type Fig7Config struct {
 	P99Limit time.Duration
 	Simulate bool
 	Scale    float64
+	// Engine selects the task execution engine (goroutine or tasklet).
+	Engine impeller.EngineMode
 }
 
 func (c Fig7Config) withDefaults() Fig7Config {
@@ -79,6 +81,7 @@ func RunFig7(cfg Fig7Config, progress io.Writer) ([]*Fig7Series, error) {
 				SimulateLatency:  cfg.Simulate,
 				LatencyScale:     cfg.Scale,
 				SnapshotInterval: 2 * time.Second,
+				Engine:           cfg.Engine,
 			})
 			if err != nil {
 				return nil, err

@@ -128,9 +128,11 @@ func (h *Hist) Reset() {
 	h.max = 0
 }
 
-// Summary renders count/p50/p99 in a compact form.
+// Summary renders count/p50/p99/p99.9 in a compact form.
 func (h *Hist) Summary() string {
-	return fmt.Sprintf("n=%d p50=%v p99=%v max=%v",
+	return fmt.Sprintf("n=%d p50=%v p99=%v p99.9=%v max=%v",
 		h.Count(), h.Percentile(50).Round(10*time.Microsecond),
-		h.Percentile(99).Round(10*time.Microsecond), h.Max().Round(10*time.Microsecond))
+		h.Percentile(99).Round(10*time.Microsecond),
+		h.Percentile(99.9).Round(10*time.Microsecond),
+		h.Max().Round(10*time.Microsecond))
 }

@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"time"
+
+	"impeller"
+	"impeller/internal/chaos"
+)
+
+// Tail-latency comparison (-exp tail): the cooperative tasklet engine
+// against the goroutine-per-task engine at increasing task density.
+// The goroutine engine pays the runtime scheduler for every blocked
+// read and flush wakeup; the tasklet engine multiplexes all operator
+// work onto one pinned event loop per core, so its deep tail (p99.9,
+// p99.99) should hold as tasks per core grow while the goroutine
+// engine's degrades under scheduler churn.
+
+// TailConfig configures the density sweep.
+type TailConfig struct {
+	// Query and Rate fix the workload (default Q1 at 3000 events/s —
+	// stateless, so the engines' scheduling is the dominant cost).
+	Query int
+	Rate  int
+	// TasksPerCore are the density points; Parallelism at each point is
+	// TasksPerCore × GOMAXPROCS (default 1, 2, 4, 8).
+	TasksPerCore []int
+	Duration     time.Duration
+	Simulate     bool
+	Scale        float64
+}
+
+func (c TailConfig) withDefaults() TailConfig {
+	if c.Query == 0 {
+		c.Query = 1
+	}
+	if c.Rate == 0 {
+		c.Rate = 3000
+	}
+	if len(c.TasksPerCore) == 0 {
+		c.TasksPerCore = []int{1, 2, 4, 8}
+	}
+	if c.Duration <= 0 {
+		c.Duration = 3 * time.Second
+	}
+	return c
+}
+
+// TailPoint is one (density, engine) measurement.
+type TailPoint struct {
+	Engine       impeller.EngineMode
+	TasksPerCore int
+	Parallelism  int
+	Point        *RunResult
+}
+
+// RunTail sweeps task density for both engines at a fixed workload.
+// A short discarded warm-up run precedes the sweep: the first cluster
+// run in a process otherwise absorbs one-time costs (heap growth, GC
+// ramp, page faults) that land straight in the first cell's p99.9.
+func RunTail(cfg TailConfig, progress io.Writer) ([]TailPoint, error) {
+	cfg = cfg.withDefaults()
+	cores := runtime.GOMAXPROCS(0)
+	if _, err := RunNexmark(RunConfig{
+		Query: cfg.Query, Protocol: impeller.ProgressMarker, Rate: cfg.Rate,
+		Duration: time.Second, Parallelism: cores,
+		SimulateLatency: cfg.Simulate, LatencyScale: cfg.Scale,
+	}); err != nil {
+		return nil, fmt.Errorf("warm-up: %w", err)
+	}
+	var out []TailPoint
+	for _, tpc := range cfg.TasksPerCore {
+		for _, engine := range []impeller.EngineMode{impeller.EngineGoroutine, impeller.EngineTasklet} {
+			res, err := RunNexmark(RunConfig{
+				Query:           cfg.Query,
+				Protocol:        impeller.ProgressMarker,
+				Rate:            cfg.Rate,
+				Duration:        cfg.Duration,
+				Parallelism:     tpc * cores,
+				SimulateLatency: cfg.Simulate,
+				LatencyScale:    cfg.Scale,
+				Engine:          engine,
+			})
+			if err != nil {
+				return nil, err
+			}
+			pt := TailPoint{Engine: engine, TasksPerCore: tpc, Parallelism: tpc * cores, Point: res}
+			out = append(out, pt)
+			if progress != nil {
+				fmt.Fprintf(progress, "  %-9s tasks/core=%-3d p50=%-10v p99=%-10v p99.9=%-10v p99.99=%v\n",
+					engine, tpc,
+					res.P50.Round(100*time.Microsecond), res.P99.Round(100*time.Microsecond),
+					res.P999.Round(100*time.Microsecond), res.P9999.Round(100*time.Microsecond))
+			}
+		}
+	}
+	return out, nil
+}
+
+// PrintTail renders the sweep with per-density goroutine/tasklet tail
+// ratios (>1 means the tasklet engine's tail is shorter).
+func PrintTail(w io.Writer, cfg TailConfig, points []TailPoint) {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "Tail latency: goroutine vs tasklet engine (Q%d @ %d events/s, %d core(s))\n",
+		cfg.Query, cfg.Rate, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "%-10s %-7s %-5s %-10s %-10s %-10s %-10s %-8s\n",
+		"engine", "t/core", "tasks", "p50", "p99", "p99.9", "p99.99", "recv")
+	for _, p := range points {
+		r := p.Point
+		fmt.Fprintf(w, "%-10s %-7d %-5d %-10v %-10v %-10v %-10v %-8d\n",
+			p.Engine, p.TasksPerCore, p.Parallelism,
+			r.P50.Round(100*time.Microsecond), r.P99.Round(100*time.Microsecond),
+			r.P999.Round(100*time.Microsecond), r.P9999.Round(100*time.Microsecond),
+			r.Received)
+	}
+	fmt.Fprintf(w, "%-10s %-18s %-18s\n", "t/core", "p99.9 go/tasklet", "p99.99 go/tasklet")
+	byDensity := map[int][2]*RunResult{}
+	for _, p := range points {
+		pair := byDensity[p.TasksPerCore]
+		pair[p.Engine] = p.Point
+		byDensity[p.TasksPerCore] = pair
+	}
+	for _, tpc := range cfg.TasksPerCore {
+		pair := byDensity[tpc]
+		g, t := pair[impeller.EngineGoroutine], pair[impeller.EngineTasklet]
+		if g == nil || t == nil {
+			continue
+		}
+		fmt.Fprintf(w, "%-10d %-18.2f %-18.2f\n", tpc, ratio(g.P999, t.P999), ratio(g.P9999, t.P9999))
+	}
+}
+
+// WriteTailCSV exports the density sweep.
+func WriteTailCSV(w io.Writer, points []TailPoint) error {
+	var out [][]string
+	for _, p := range points {
+		r := p.Point
+		out = append(out, []string{
+			p.Engine.String(),
+			strconv.Itoa(p.TasksPerCore),
+			strconv.Itoa(p.Parallelism),
+			strconv.Itoa(r.Config.Rate),
+			us(r.P50), us(r.P99), us(r.P999), us(r.P9999), us(r.Mean),
+			strconv.FormatUint(r.Received, 10),
+		})
+	}
+	return writeCSV(w,
+		[]string{"engine", "tasks_per_core", "tasks", "rate_eps",
+			"p50_us", "p99_us", "p999_us", "p9999_us", "mean_us", "received"},
+		out)
+}
+
+// SmokeRow is one engine's smoke outcome.
+type SmokeRow struct {
+	Engine    impeller.EngineMode
+	Delivered uint64
+	Elapsed   time.Duration
+}
+
+// RunTaskletSmoke runs one short, fully deterministic NEXMark pipeline
+// end to end on each engine — seeded inputs, no faults — and verifies
+// both against the chaos oracle's expected output set. The oracle check
+// is value-exact, so two converged runs imply identical outputs; on top
+// of that the distinct delivered counts must match, or the engines have
+// diverged.
+func RunTaskletSmoke(query int, progress io.Writer) ([]SmokeRow, error) {
+	if query == 0 {
+		query = 1
+	}
+	var rows []SmokeRow
+	for _, engine := range []impeller.EngineMode{impeller.EngineGoroutine, impeller.EngineTasklet} {
+		res, err := chaos.Run(chaos.Config{
+			Query: query, Protocol: impeller.ProgressMarker, Seed: 7, Engine: engine,
+			InfraFaults: -1, Kills: -1, Zombies: -1, NodeCrashes: -1,
+			SinkKills: -1, ConsumerFaults: -1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("tasklet-smoke: %v engine: %w", engine, err)
+		}
+		if res.Violation != "" {
+			return nil, fmt.Errorf("tasklet-smoke: %v engine: exactly-once violation: %s", engine, res.Violation)
+		}
+		if !res.Converged {
+			return nil, fmt.Errorf("tasklet-smoke: %v engine: output never converged (delivered %d)", engine, res.Delivered)
+		}
+		rows = append(rows, SmokeRow{Engine: engine, Delivered: res.Delivered, Elapsed: res.Elapsed})
+		if progress != nil {
+			fmt.Fprintf(progress, "  %s\n", res)
+		}
+	}
+	if rows[0].Delivered != rows[1].Delivered {
+		return rows, fmt.Errorf("tasklet-smoke: engines diverged: goroutine delivered %d records, tasklet %d",
+			rows[0].Delivered, rows[1].Delivered)
+	}
+	return rows, nil
+}
+
+// PrintSmoke renders the smoke outcome.
+func PrintSmoke(w io.Writer, query int, rows []SmokeRow) {
+	if query == 0 {
+		query = 1
+	}
+	fmt.Fprintf(w, "Tasklet smoke: Q%d end to end on both engines, oracle-verified\n", query)
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-10s delivered=%-6d elapsed=%v\n",
+			r.Engine, r.Delivered, r.Elapsed.Round(time.Millisecond))
+	}
+	fmt.Fprintln(w, "  no divergence: both engines converged to the oracle's expected output")
+}

@@ -101,6 +101,9 @@ type Config struct {
 	// Timeout bounds how long the run may take to converge after the
 	// faults heal (default 30 s).
 	Timeout time.Duration
+	// Engine selects the task execution engine (goroutine or tasklet);
+	// both must satisfy the same exactly-once oracle.
+	Engine impeller.EngineMode
 }
 
 func (c Config) withDefaults() Config {
@@ -119,23 +122,25 @@ func (c Config) withDefaults() Config {
 	if c.CommitInterval <= 0 {
 		c.CommitInterval = 20 * time.Millisecond
 	}
-	if c.InfraFaults <= 0 {
+	// Negative fault counts disable that plane (fault-free runs for
+	// engine-equivalence checks); zero selects the default. Negatives
+	// survive defaulting — withDefaults is applied both by Run and by
+	// GenPlan, so mapping them to zero here would resurrect the default
+	// on the second pass — and are clamped to zero at the use sites.
+	if c.InfraFaults == 0 {
 		c.InfraFaults = 8
 	}
-	if c.Kills <= 0 {
+	if c.Kills == 0 {
 		c.Kills = 8
 	}
-	if c.Zombies < 0 {
-		c.Zombies = 0
-	} else if c.Zombies == 0 {
+	if c.Zombies == 0 {
 		c.Zombies = 4
 	}
-	if c.NodeCrashes <= 0 {
+	if c.NodeCrashes == 0 {
 		c.NodeCrashes = 2
 	}
 	if c.OrderingShards < 0 {
-		c.OrderingShards = 0 // immediate ordering, no shard layer
-		c.OrderingInterval = 0
+		c.OrderingInterval = 0 // immediate ordering, no shard layer
 	} else {
 		if c.OrderingShards == 0 {
 			c.OrderingShards = 2
@@ -144,14 +149,10 @@ func (c Config) withDefaults() Config {
 			c.OrderingInterval = time.Millisecond
 		}
 	}
-	if c.SinkKills < 0 {
-		c.SinkKills = 0
-	} else if c.SinkKills == 0 {
+	if c.SinkKills == 0 {
 		c.SinkKills = 2
 	}
-	if c.ConsumerFaults < 0 {
-		c.ConsumerFaults = 0
-	} else if c.ConsumerFaults == 0 {
+	if c.ConsumerFaults == 0 {
 		c.ConsumerFaults = 10
 	}
 	if c.Duration <= 0 {
@@ -252,25 +253,30 @@ func GenPlan(cfg Config, targets []impeller.TaskID) Plan {
 	// to it), without ever drawing down the storage quorum's outage
 	// budget. They are also slowable — a slow local sequencer stalls the
 	// global cut — and partitionable from clients.
-	seqShards := make([]string, cfg.OrderingShards)
+	seqShards := make([]string, max(0, cfg.OrderingShards))
 	for i := range seqShards {
 		seqShards[i] = fmt.Sprintf("sequencer/%d", i)
 		pairs = append(pairs, [2]string{"client", seqShards[i]})
 	}
-	plan := Plan{Infra: sim.GenFaultSchedule(cfg.Seed, sim.ScheduleConfig{
-		Duration:   cfg.Duration,
-		Crashable:  shards,
-		CrashableB: seqShards,
-		Pairs:      pairs,
-		Slowable:   append(append([]string{"sequencer"}, shards...), seqShards...),
-		Faults:     cfg.InfraFaults,
-		// Replication 3 over 4 shards: two concurrent shard crashes
-		// still leave every LSN with a live replica.
-		MaxDown: 2,
-		// One sequencer shard down at a time: the cut keeps advancing
-		// on the others while the crashed shard's pending waits.
-		MaxDownB: 1,
-	})}
+	var plan Plan
+	if cfg.InfraFaults > 0 {
+		// sim defaults Faults <= 0 back to 8, so a disabled infra plane
+		// must skip generation entirely rather than ask for zero.
+		plan.Infra = sim.GenFaultSchedule(cfg.Seed, sim.ScheduleConfig{
+			Duration:   cfg.Duration,
+			Crashable:  shards,
+			CrashableB: seqShards,
+			Pairs:      pairs,
+			Slowable:   append(append([]string{"sequencer"}, shards...), seqShards...),
+			Faults:     cfg.InfraFaults,
+			// Replication 3 over 4 shards: two concurrent shard crashes
+			// still leave every LSN with a live replica.
+			MaxDown: 2,
+			// One sequencer shard down at a time: the cut keeps advancing
+			// on the others while the crashed shard's pending waits.
+			MaxDownB: 1,
+		})
+	}
 	plan.Faults = plan.Infra.Faults
 
 	// Egress plane: sink kills land in the middle stretch of the window
@@ -278,7 +284,7 @@ func GenPlan(cfg Config, targets []impeller.TaskID) Plan {
 	// mid-stream restart), early enough that input still flows while the
 	// replacement catches up. Consumer fault windows cover the whole run.
 	ern := sim.NewRand(cfg.Seed ^ egressSeedSalt)
-	for i := 0; i < cfg.SinkKills; i++ {
+	for i := 0; i < max(0, cfg.SinkKills); i++ {
 		lo, hi := cfg.Duration/4, cfg.Duration*9/10
 		plan.SinkKills = append(plan.SinkKills, lo+time.Duration(ern.Int63()%int64(hi-lo)))
 		plan.Faults++
@@ -303,7 +309,7 @@ func GenPlan(cfg Config, targets []impeller.TaskID) Plan {
 	}
 	pick := func() impeller.TaskID { return sorted[rng.Intn(len(sorted))] }
 
-	kills, zombies := cfg.Kills, cfg.Zombies
+	kills, zombies := max(0, cfg.Kills), max(0, cfg.Zombies)
 	if cfg.Protocol == impeller.AlignedCheckpoint {
 		kills += zombies
 		zombies = 0
@@ -325,7 +331,7 @@ func GenPlan(cfg Config, targets []impeller.TaskID) Plan {
 		})
 		plan.Faults++
 	}
-	for i := 0; i < cfg.NodeCrashes; i++ {
+	for i := 0; i < max(0, cfg.NodeCrashes); i++ {
 		plan.Tasks = append(plan.Tasks, TaskFault{
 			At:     between(cfg.Duration/10, cfg.Duration*8/10),
 			Kind:   CrashNode,
@@ -433,8 +439,9 @@ func Run(cfg Config) (*Result, error) {
 		IngressFlushInterval: 5 * time.Millisecond,
 		LogShards:            logShards,
 		OrderingInterval:     cfg.OrderingInterval,
-		OrderingShards:       cfg.OrderingShards,
+		OrderingShards:       max(0, cfg.OrderingShards),
 		Seed:                 cfg.Seed,
+		Engine:               cfg.Engine,
 	})
 	defer cluster.Close()
 	topo, err := nexmark.BuildOpts(cfg.Query, nexmark.Options{PerUpdateWindows: true})

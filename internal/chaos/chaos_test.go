@@ -121,6 +121,101 @@ func TestChaosShards4(t *testing.T) {
 	}
 }
 
+// TestChaosTasklet pins chaos cells to the cooperative tasklet engine:
+// the full fault plan (kills, zombies, node crashes, infra faults, sink
+// kills, consumer faults) must produce the same exactly-once outcome
+// when every operator runs as a tasklet on shared event loops. One cell
+// per protocol; the progress-marker cell also requires a fenced zombie,
+// proving the fencing race exists under cooperative scheduling too.
+// In -short mode only the progress-marker cell runs.
+func TestChaosTasklet(t *testing.T) {
+	queries := []int{1, 11, 12}
+	for i, proto := range protocols {
+		if testing.Short() && proto != impeller.ProgressMarker {
+			continue
+		}
+		proto, query := proto, queries[i]
+		t.Run(fmt.Sprintf("q%d-%s", query, proto), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Config{Query: query, Protocol: proto, Seed: 7, Engine: impeller.EngineTasklet})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Log(res)
+			if res.Violation != "" {
+				t.Fatalf("exactly-once violation: %s", res.Violation)
+			}
+			if !res.Converged {
+				t.Fatalf("output never converged: sent=%d bids=%d delivered=%d restarts=%d",
+					res.Sent, res.Bids, res.Delivered, res.Restarts)
+			}
+			if res.Restarts == 0 {
+				t.Fatal("no task ever restarted; the schedule injected nothing")
+			}
+			assertEgress(t, res)
+			if proto == impeller.ProgressMarker {
+				if res.Zombified == 0 {
+					t.Fatal("no zombie was ever planted")
+				}
+				if res.CondFailed == 0 {
+					t.Fatal("no zombie append was fenced (CondFailed = 0)")
+				}
+			}
+		})
+	}
+}
+
+// faultFree disables every fault plane: the run is a plain end-to-end
+// execution whose output the oracle still verifies, so two engines can
+// be compared on identical inputs.
+func faultFree(query int, proto impeller.Protocol, engine impeller.EngineMode) Config {
+	return Config{
+		Query: query, Protocol: proto, Seed: 7, Engine: engine,
+		InfraFaults: -1, Kills: -1, Zombies: -1, NodeCrashes: -1,
+		SinkKills: -1, ConsumerFaults: -1,
+	}
+}
+
+// TestEngineEquivalence: for every (query, protocol) the goroutine and
+// tasklet engines must deliver the same oracle-verified output on
+// identical fault-free inputs — same distinct delivered count, zero
+// duplicates reaching the consumer, full convergence. The inputs are
+// seeded and the fault planes are disabled, so any divergence is an
+// engine bug, not scheduling noise. In -short mode the diagonal runs.
+func TestEngineEquivalence(t *testing.T) {
+	queries := []int{1, 11, 12}
+	for i, proto := range protocols {
+		for j, query := range queries {
+			if testing.Short() && j != i {
+				continue
+			}
+			proto, query := proto, query
+			t.Run(fmt.Sprintf("q%d-%s", query, proto), func(t *testing.T) {
+				t.Parallel()
+				var delivered [2]uint64
+				for _, engine := range []impeller.EngineMode{impeller.EngineGoroutine, impeller.EngineTasklet} {
+					res, err := Run(faultFree(query, proto, engine))
+					if err != nil {
+						t.Fatalf("%v: %v", engine, err)
+					}
+					if res.Violation != "" {
+						t.Fatalf("%v: exactly-once violation: %s", engine, res.Violation)
+					}
+					if !res.Converged {
+						t.Fatalf("%v: output never converged: sent=%d bids=%d delivered=%d",
+							engine, res.Sent, res.Bids, res.Delivered)
+					}
+					delivered[engine] = res.Delivered
+				}
+				if delivered[impeller.EngineGoroutine] != delivered[impeller.EngineTasklet] {
+					t.Fatalf("engines diverged: goroutine delivered %d records, tasklet %d",
+						delivered[impeller.EngineGoroutine], delivered[impeller.EngineTasklet])
+				}
+			})
+		}
+	}
+}
+
 // TestGenPlanDeterministic: the same (config, targets) must yield the
 // same plan, and a different seed a different one.
 func TestGenPlanDeterministic(t *testing.T) {

@@ -98,6 +98,11 @@ type batcher struct {
 	mu  sync.Mutex
 	err error
 
+	// notify, when non-nil, runs once per completed append batch after
+	// its callbacks have fired — the cooperative engine uses it to wake
+	// the owning loop so the completion ring drains promptly.
+	notify func()
+
 	// cur is the accumulating batch; task goroutine only.
 	cur     *appendBatch
 	curBorn time.Time
@@ -138,7 +143,7 @@ func putAppendBatch(b *appendBatch) {
 	appendBatchPool.Put(b)
 }
 
-func newBatcher(log *sharedlog.Log, cfg BatchConfig, retry *retrier, ctx context.Context, clock sim.Clock, metrics *TaskMetrics) *batcher {
+func newBatcher(log *sharedlog.Log, cfg BatchConfig, retry *retrier, ctx context.Context, clock sim.Clock, metrics *TaskMetrics, notify func()) *batcher {
 	if clock == nil {
 		clock = sim.RealClock{}
 	}
@@ -149,6 +154,7 @@ func newBatcher(log *sharedlog.Log, cfg BatchConfig, retry *retrier, ctx context
 		metrics: metrics,
 		retry:   retry,
 		ctx:     ctx,
+		notify:  notify,
 		done:    make(chan struct{}),
 	}
 	b.ch = make(chan *appendBatch, b.cfg.Window)
@@ -240,6 +246,9 @@ func (b *batcher) run() {
 		putAppendBatch(batch)
 		b.pendingN.Add(int64(-n))
 		b.inflight.Done()
+		if b.notify != nil {
+			b.notify()
+		}
 	}
 }
 

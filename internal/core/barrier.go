@@ -61,13 +61,15 @@ func (a *alignState) earliestBuffered() (LSN, bool) {
 	return best, true
 }
 
-// onBarrier handles one barrier record. When the final upstream barrier
-// arrives the task snapshots synchronously, forwards the barrier, acks
-// the coordinator, and replays the side buffer.
-func (t *Task) onBarrier(b *Batch, lsn LSN) error {
+// onBarrier handles one barrier record and reports whether alignment is
+// now complete. The caller runs completeAlignment — inline on the
+// goroutine engine, on the blocker goroutine on the cooperative engine
+// (the completion snapshots synchronously and drains appends, which a
+// tasklet step must not await).
+func (t *Task) onBarrier(b *Batch, lsn LSN) (complete bool, err error) {
 	a := t.align
 	if b.Epoch <= t.epoch {
-		return nil // stale barrier from before our restore point
+		return false, nil // stale barrier from before our restore point
 	}
 	if a.epoch != 0 && b.Epoch > a.epoch {
 		// A newer epoch's barrier means the coordinator aborted the
@@ -77,20 +79,17 @@ func (t *Task) onBarrier(b *Batch, lsn LSN) error {
 		// new epoch instead, so the task does not stall forever behind
 		// an epoch that can never complete.
 		if err := t.releaseAlignment(); err != nil {
-			return err
+			return false, err
 		}
 	}
 	if a.epoch == 0 {
 		a.epoch = b.Epoch
 	}
 	if b.Epoch != a.epoch {
-		return nil // stale barrier for an aborted earlier epoch
+		return false, nil // stale barrier for an aborted earlier epoch
 	}
 	a.arrived[b.Producer] = lsn
-	if len(a.arrived) < a.expected {
-		return nil
-	}
-	return t.completeAlignment()
+	return len(a.arrived) >= a.expected, nil
 }
 
 func (t *Task) completeAlignment() error {

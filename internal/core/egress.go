@@ -146,6 +146,12 @@ func (s *Sink) SafePos() LSN { return LSN(s.safe.Load()) }
 // delivered (or discarded) rather than dropped. Anything still lacking
 // a commit decision after the sweep is counted in Counts().Undrained.
 func (s *Sink) Run(ctx context.Context) error {
+	if s.env.loops != nil && s.delivery == nil {
+		// Cooperative engine: the sink runs as a tasklet on the shared
+		// loop pool. Delivery sinks keep the dedicated goroutine — their
+		// submit path blocks on the in-flight window by design.
+		return s.runTasklet(ctx)
+	}
 	tags := s.tags()
 	tagIndex := make(map[sharedlog.Tag]int, len(tags))
 	for i, t := range tags {

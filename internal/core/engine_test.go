@@ -66,11 +66,21 @@ type testCluster struct {
 
 func startWordCount(t *testing.T, proto FTProtocol, p1, p2 int) *testCluster {
 	t.Helper()
+	return startWordCountEngine(t, proto, p1, p2, EngineGoroutine)
+}
+
+// startWordCountEngine is startWordCount with an explicit execution
+// engine; tasklet runs pin two event loops so tasks share loops even on
+// a single-core host.
+func startWordCountEngine(t *testing.T, proto FTProtocol, p1, p2 int, engine EngineMode) *testCluster {
+	t.Helper()
 	env := &Env{
 		Log:            sharedlog.Open(sharedlog.Config{}),
 		Checkpoints:    kvstore.Open(kvstore.Config{}),
 		Protocol:       proto,
 		CommitInterval: 25 * time.Millisecond,
+		Engine:         engine,
+		EngineLoops:    2,
 	}
 	q := wordCountQuery(p1, p2, 1)
 	mgr, err := NewManager(env, q)

@@ -31,7 +31,7 @@ func TestMarkerInvariantAssertionFires(t *testing.T) {
 	// A batcher holding an unsealed entry: thresholds high enough that
 	// nothing auto-flushes.
 	cfg := BatchConfig{MaxRecords: 1024, MaxBytes: 1 << 30, Linger: time.Hour, Window: 4}
-	b := newBatcher(log, cfg, nil, context.Background(), nil, nil)
+	b := newBatcher(log, cfg, nil, context.Background(), nil, nil, nil)
 	defer b.close()
 	b.submit([]sharedlog.Tag{"t"}, []byte("covered"), nil, nil)
 

@@ -55,10 +55,13 @@ func (j *streamStreamJoin) Process(port int, d Datum, emit Emit) error {
 	st.Put(j.bufKey(port, d.Key, d.EventTime, j.seq), d.Value)
 
 	// Scan the opposite side's buffer for this key within the window.
+	// The scan is the join's bulk work; charge each visited entry so the
+	// cooperative engine yields between batches when buffers grow large.
 	other := 1 - port
 	win := j.window.Microseconds()
 	prefix := fmt.Sprintf("%s/%d/%s/", j.name, other, d.Key)
 	st.Range(prefix, func(k string, v []byte) bool {
+		j.ctx.Charge(1)
 		rest := []byte(k[len(prefix):])
 		if len(rest) < 16 {
 			return true
@@ -99,6 +102,7 @@ func (j *streamStreamJoin) evict(port int, d Datum) {
 		prefix := fmt.Sprintf("%s/%d/%s/", j.name, side, d.Key)
 		var dead []string
 		st.Range(prefix, func(k string, v []byte) bool {
+			j.ctx.Charge(1)
 			rest := []byte(k[len(prefix):])
 			if len(rest) < 16 {
 				return true

@@ -58,6 +58,7 @@ type taskHandle struct {
 	lastHB   atomic.Int64 // unix nanos of last heartbeat
 	exitedAt atomic.Int64 // unix nanos when Run returned (0 = still running)
 	zombie   atomic.Bool  // heartbeats suppressed (simulated partition)
+	lastProg uint64       // SchedulerProgress at last monitor tick (monitor-only)
 }
 
 // NewManager builds a manager for query over env. It validates the
@@ -130,6 +131,11 @@ func (m *Manager) Start(ctx context.Context) error {
 	}
 	m.started = true
 	m.ctx, m.cancel = context.WithCancel(ctx)
+	if m.env.Engine == EngineTasklet && m.env.loops == nil {
+		// The manager owns this env copy (withDefaults), so the pool it
+		// creates here flows to every task and sink built from Env().
+		m.env.loops = newLoopPool(m.env.EngineLoops)
+	}
 
 	for _, stage := range m.query.Stages {
 		for sub := 0; sub < stage.Parallelism; sub++ {
@@ -222,6 +228,18 @@ func (m *Manager) monitor() {
 		m.mu.Lock()
 		for id, h := range m.handles {
 			stale := now-h.lastHB.Load() > hbTimeout.Nanoseconds()
+			// Staleness is progress-driven, not wall-clock-driven: a task
+			// resident on a loop that is busy stepping other tasklets may
+			// heartbeat late, but a loop making progress means the task is
+			// scheduled, not dead. Zombified handles are exempt — their
+			// suppressed heartbeats simulate a partition, and the
+			// replacement must spawn regardless of loop liveness.
+			prog := h.task.SchedulerProgress()
+			progressed := prog != h.lastProg
+			h.lastProg = prog
+			if stale && progressed && !h.zombie.Load() {
+				stale = false
+			}
 			exited := false
 			select {
 			case <-h.done:
@@ -404,6 +422,13 @@ func (m *Manager) Stop() {
 	if m.cancel != nil {
 		m.cancel()
 	}
+	loops := m.env.loops
 	m.mu.Unlock()
 	m.wg.Wait()
+	if loops != nil {
+		// After every task goroutine has unwound; closing the pool also
+		// finishes any sink tasklets still resident so their Run calls
+		// return.
+		loops.close()
+	}
 }

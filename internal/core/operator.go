@@ -22,6 +22,12 @@ type ProcContext interface {
 	TaskID() TaskID
 	// Substream is the task's substream index within its stage.
 	Substream() int
+	// Charge reports n units of bulk internal work done inside a single
+	// Process call (a join scanning its buffers, a window firing many
+	// panes at once). Cooperative processors call it so the tasklet
+	// engine can account the work against its step budget and yield at
+	// the next batch boundary; it is a no-op on the goroutine engine.
+	Charge(n int)
 }
 
 // Processor is the per-task compute of a stage: a sequence of operators

@@ -18,6 +18,7 @@ func newFakeCtx() *fakeCtx            { return &fakeCtx{store: NewStateStore(nil
 func (f *fakeCtx) Store() *StateStore { return f.store }
 func (f *fakeCtx) TaskID() TaskID     { return "test/0" }
 func (f *fakeCtx) Substream() int     { return 0 }
+func (f *fakeCtx) Charge(int)         {}
 
 type emitted struct {
 	out int

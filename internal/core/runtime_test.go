@@ -16,7 +16,7 @@ func TestBatcherPreservesSubmissionOrder(t *testing.T) {
 	defer log.Close()
 	// Small batches and a narrow window so the 100 submissions cross
 	// many sealed batches (and exercise the backpressure path).
-	a := newBatcher(log, BatchConfig{MaxRecords: 8, Window: 2}, nil, context.Background(), nil, nil)
+	a := newBatcher(log, BatchConfig{MaxRecords: 8, Window: 2}, nil, context.Background(), nil, nil, nil)
 	defer a.close()
 
 	var mu sync.Mutex
@@ -60,7 +60,7 @@ func TestBatcherPreservesSubmissionOrder(t *testing.T) {
 
 func TestBatcherReportsFirstError(t *testing.T) {
 	log := sharedlog.Open(sharedlog.Config{})
-	a := newBatcher(log, BatchConfig{}, nil, context.Background(), nil, nil)
+	a := newBatcher(log, BatchConfig{}, nil, context.Background(), nil, nil, nil)
 	defer a.close()
 	log.Close() // force append failures
 	a.submit([]sharedlog.Tag{"t"}, nil, nil, nil)

@@ -120,7 +120,9 @@ func (s *sessionAggregate) Process(_ int, d Datum, emit Emit) error {
 	}
 
 	// Fold the record into every session it touches (within gap), then
-	// merge the touched sessions into one.
+	// merge the touched sessions into one. The per-key session list is
+	// the bulk work here; charge it for the cooperative engine.
+	s.ctx.Charge(len(sessions))
 	merged := session{Start: d.EventTime, Last: d.EventTime}
 	var rest []session
 	for _, x := range sessions {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"impeller/internal/sharedlog"
@@ -94,7 +95,15 @@ type Task struct {
 	ckptEpoch        uint64 // latest checkpoint epoch known (marker mode)
 
 	heartbeat func()
-	Metrics   *TaskMetrics
+	// progress counts heartbeats; with the loop's round counter it forms
+	// SchedulerProgress, the monitor's busy-vs-dead signal.
+	progress atomic.Uint64
+	Metrics  *TaskMetrics
+
+	// --- cooperative engine (Env.Engine == EngineTasklet) ---
+	tl       *taskletRun // per-run scheduling state; nil on the goroutine engine
+	tlLoop   *taskLoop   // the loop this task is placed on; nil otherwise
+	doneRing *spsc[doneEvent]
 
 	// node is the simulated compute node this task runs on; retry
 	// wraps log operations with transient-fault retries on its behalf.
@@ -132,8 +141,16 @@ func NewTask(stage *Stage, sub int, instance uint64, env *Env, opts TaskOptions)
 	if opts.Metrics != nil {
 		t.Metrics = opts.Metrics
 	}
-	if t.heartbeat == nil {
-		t.heartbeat = func() {}
+	hb := t.heartbeat
+	t.heartbeat = func() {
+		t.progress.Add(1)
+		if hb != nil {
+			hb()
+		}
+	}
+	if env.loops != nil {
+		t.tlLoop = env.loops.place(string(t.ID))
+		t.doneRing = newSPSC[doneEvent](taskletDoneEvents, t.tlLoop.notify)
 	}
 	t.node = ComputeNode(t.ID)
 	t.retry = newRetrier(env, t.node, t.Metrics)
@@ -234,6 +251,12 @@ func (t *Task) newOutDest(tags []sharedlog.Tag) appendDest {
 		if err != nil {
 			return
 		}
+		// On the cooperative engine the completion posts to the owning
+		// loop's ring and is folded there; the direct fold below is the
+		// goroutine-engine path and the ring-overflow fallback.
+		if r := t.doneRing; r != nil && r.tryPush(doneEvent{tags: tags, lsn: lsn}) {
+			return
+		}
 		t.progressMu.Lock()
 		for _, tag := range tags {
 			if cur, ok := t.outFirst[tag]; !ok || lsn < cur {
@@ -247,6 +270,9 @@ func (t *Task) newOutDest(tags []sharedlog.Tag) appendDest {
 func (t *Task) newChangeDest() appendDest {
 	return appendDest{tags: []sharedlog.Tag{ChangeLogTag(t.ID)}, onDone: func(lsn LSN, err error) {
 		if err != nil {
+			return
+		}
+		if r := t.doneRing; r != nil && r.tryPush(doneEvent{change: true, lsn: lsn}) {
 			return
 		}
 		t.progressMu.Lock()
@@ -341,6 +367,16 @@ func (t *Task) TaskID() TaskID { return t.ID }
 // Substream implements ProcContext.
 func (t *Task) Substream() int { return t.tagPort[t.inputTags[0]] }
 
+// Charge implements ProcContext: processors doing bulk internal work in
+// one Process call (a join scanning its buffers, a window firing many
+// panes) report it so the cooperative engine accounts it against the
+// step budget. No-op on the goroutine engine.
+func (t *Task) Charge(n int) {
+	if t.tl != nil {
+		t.tl.budget -= n
+	}
+}
+
 // onStateChange captures a state mutation into the change-log buffer.
 // Only stateful stages under change-log protocols persist changes;
 // aligned checkpoints persist state via snapshots instead.
@@ -366,6 +402,9 @@ func (t *Task) onStateChange(key string, value []byte, deleted bool) {
 // until ctx is cancelled or the instance is fenced. It always returns a
 // non-nil error: ctx.Err() on clean shutdown, ErrZombie when fenced.
 func (t *Task) Run(ctx context.Context) error {
+	if t.tlLoop != nil {
+		return t.runTasklet(ctx)
+	}
 	t.runCtx = ctx
 	defer t.closeAppenders()
 	recoverStart := time.Now()
@@ -493,8 +532,14 @@ func (t *Task) ingestBatch(recs []*sharedlog.Record) error {
 				pendingDrain = false
 			}
 			if b.Kind == KindBarrier && t.align != nil {
-				if err := t.onBarrier(b, rec.LSN); err != nil {
+				complete, err := t.onBarrier(b, rec.LSN)
+				if err != nil {
 					return err
+				}
+				if complete {
+					if err := t.completeAlignment(); err != nil {
+						return err
+					}
 				}
 				continue
 			}
@@ -601,6 +646,7 @@ func (t *Task) processBatch(q queuedBatch) error {
 	// Long drains (e.g. a join scanning large buffers) must not look
 	// like a dead task to the manager.
 	t.heartbeat()
+	t.Charge(len(q.batch.Records))
 	b := q.batch
 	if skip, ok := t.skipBelow[b.Producer]; ok && q.lsn <= skip {
 		// Already reflected in the restored aligned checkpoint.
@@ -755,7 +801,14 @@ func (t *Task) submitAppend(tags []sharedlog.Tag, payload []byte, eb *wire.Buf, 
 		if ctx == nil {
 			ctx = context.Background()
 		}
-		t.appender = newBatcher(t.log, t.batchCfg, t.retry, ctx, t.env.Clock, t.Metrics)
+		var notify func()
+		if t.tlLoop != nil {
+			// Wake the owning loop once per completed append batch so the
+			// done ring is drained promptly.
+			loop := t.tlLoop
+			notify = func() { poke(loop.notify) }
+		}
+		t.appender = newBatcher(t.log, t.batchCfg, t.retry, ctx, t.env.Clock, t.Metrics, notify)
 	}
 	t.Metrics.Appends.Add(1)
 	t.appender.submit(tags, payload, eb, onDone)
@@ -767,7 +820,13 @@ func (t *Task) drainAppends() error {
 	if t.appender == nil {
 		return nil
 	}
-	return t.appender.drain()
+	err := t.appender.drain()
+	// On the cooperative engine completions sit in the done ring; fold
+	// them before the caller builds a marker from outFirst/changeFirst.
+	// The caller owns the task exclusively here (blocker during commit),
+	// so this cannot race the loop's per-step drain.
+	t.drainCompletions()
+	return err
 }
 
 func (t *Task) closeAppenders() {

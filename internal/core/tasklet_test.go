@@ -1,0 +1,190 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestEngineModeParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want EngineMode
+		err  bool
+	}{
+		{"", EngineGoroutine, false},
+		{"goroutine", EngineGoroutine, false},
+		{"tasklet", EngineTasklet, false},
+		{"fibers", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseEngineMode(c.in)
+		if c.err != (err != nil) || (!c.err && got != c.want) {
+			t.Fatalf("ParseEngineMode(%q) = %v, %v; want %v, err=%v", c.in, got, err, c.want, c.err)
+		}
+	}
+	if EngineGoroutine.String() != "goroutine" || EngineTasklet.String() != "tasklet" {
+		t.Fatal("EngineMode.String mismatch")
+	}
+}
+
+func TestSPSCRing(t *testing.T) {
+	wake := make(chan struct{}, 1)
+	r := newSPSC[int](4, wake)
+	for i := 0; i < 4; i++ {
+		if !r.tryPush(i) {
+			t.Fatalf("tryPush(%d) failed on non-full ring", i)
+		}
+	}
+	if r.tryPush(99) {
+		t.Fatal("tryPush succeeded on a full ring")
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := r.tryPop()
+		if !ok || v != i {
+			t.Fatalf("tryPop = %d, %v; want %d, true", v, ok, i)
+		}
+	}
+	if _, ok := r.tryPop(); ok {
+		t.Fatal("tryPop succeeded on an empty ring")
+	}
+}
+
+// TestSPSCRingConcurrent drives a full producer/consumer pair through a
+// small ring: every element must arrive exactly once, in order, with no
+// lost wakeups. Run under -race this is the ring's memory-model check.
+func TestSPSCRingConcurrent(t *testing.T) {
+	wake := make(chan struct{}, 1)
+	r := newSPSC[int](8, wake)
+	const n = 50000
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			if !r.push(context.Background(), i) {
+				done <- fmt.Errorf("push(%d) failed", i)
+				return
+			}
+		}
+		done <- nil
+	}()
+	next := 0
+	for next < n {
+		if v, ok := r.tryPop(); ok {
+			if v != next {
+				t.Fatalf("out of order: got %d, want %d", v, next)
+			}
+			next++
+			continue
+		}
+		select {
+		case <-wake:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("consumer stalled at %d/%d (lost wakeup)", next, n)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSPSCPushCancel(t *testing.T) {
+	wake := make(chan struct{}, 1)
+	r := newSPSC[int](2, wake)
+	for r.tryPush(0) {
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if r.push(ctx, 1) {
+		t.Fatal("push into a full ring succeeded after context cancel")
+	}
+}
+
+// TestTaskletWordCountExactlyOnce: the cooperative engine must produce
+// the goroutine engine's exact output for all three FT protocols.
+func TestTaskletWordCountExactlyOnce(t *testing.T) {
+	for _, proto := range []FTProtocol{ProtoProgressMarker, ProtoKafkaTxn, ProtoAlignedCheckpoint} {
+		proto := proto
+		t.Run(fmt.Sprint(proto), func(t *testing.T) {
+			c := startWordCountEngine(t, proto, 2, 2, EngineTasklet)
+			want := c.send(testLines)
+			c.waitCounts(want, 10*time.Second)
+		})
+	}
+}
+
+// TestTaskletWordCountUnderCrash stresses kill/recovery while tasklets
+// share event loops: killed tasklets must unregister from their loop,
+// and their replacements must re-place and recover exactly-once state.
+// Under -race this doubles as the loop/blocker/feeder handoff check.
+func TestTaskletWordCountUnderCrash(t *testing.T) {
+	c := startWordCountEngine(t, ProtoProgressMarker, 2, 2, EngineTasklet)
+	done := make(chan map[string]uint64)
+	go func() { done <- sendLoad(c, 1500) }()
+
+	time.Sleep(60 * time.Millisecond)
+	if err := c.mgr.Kill("wc/count/0"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(120 * time.Millisecond)
+	if err := c.mgr.Kill("wc/split/1"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(120 * time.Millisecond)
+	if err := c.mgr.Kill("wc/count/0"); err != nil {
+		t.Fatal(err)
+	}
+
+	want := <-done
+	c.waitCounts(want, 30*time.Second)
+	if c.mgr.Restarts("wc/count/0") == 0 {
+		t.Fatal("task was never restarted")
+	}
+}
+
+// TestTaskletZombieNeutralized: a zombified tasklet keeps running on
+// its loop — so its loop keeps making progress — but the monitor must
+// still replace it (the progress exemption does not shield zombies),
+// and the zombie's next marker must lose the fencing race.
+func TestTaskletZombieNeutralized(t *testing.T) {
+	c := startWordCountEngine(t, ProtoProgressMarker, 1, 1, EngineTasklet)
+	c.mgr.SetTimeouts(100*time.Millisecond, 0)
+
+	want := sendLoad(c, 400)
+	time.Sleep(50 * time.Millisecond)
+	if err := c.mgr.Zombify("wc/count/0"); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	i := 0
+	for c.mgr.Restarts("wc/count/0") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("zombie was never replaced")
+		}
+		c.ingress.Send([]byte(fmt.Sprint(i)), []byte("zomb"), time.Now().UnixMicro())
+		want["zomb"]++
+		i++
+		time.Sleep(2 * time.Millisecond)
+	}
+	for k, v := range sendLoad(c, 400) {
+		want[k] += v
+	}
+	c.waitCounts(want, 30*time.Second)
+}
+
+// TestTaskletBusyTaskNotRestartedAsStale: under staleness timeouts
+// shorter than a commit interval, a busy-but-healthy tasklet must not
+// be declared stale — the monitor reads loop/task progress, not just
+// heartbeat wall-clock age.
+func TestTaskletBusyTaskNotRestartedAsStale(t *testing.T) {
+	c := startWordCountEngine(t, ProtoProgressMarker, 2, 2, EngineTasklet)
+	c.mgr.SetTimeouts(30*time.Millisecond, 10*time.Millisecond)
+	want := sendLoad(c, 800)
+	c.waitCounts(want, 30*time.Second)
+	for _, id := range c.mgr.TaskIDs() {
+		if n := c.mgr.Restarts(id); n != 0 {
+			t.Fatalf("busy task %s restarted %d times under aggressive staleness timeouts", id, n)
+		}
+	}
+}

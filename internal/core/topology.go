@@ -193,6 +193,17 @@ type Env struct {
 	ReadBatch int
 	// Seed fixes the retry jitter stream (0 selects a fixed default).
 	Seed uint64
+	// Engine selects the task execution engine: goroutine-per-task (the
+	// default) or the cooperative tasklet engine (one event loop per
+	// core; see tasklet.go).
+	Engine EngineMode
+	// EngineLoops overrides the tasklet engine's worker-loop count; 0
+	// selects GOMAXPROCS. Ignored on the goroutine engine.
+	EngineLoops int
+
+	// loops is the tasklet engine's loop pool, owned by the manager that
+	// holds this env copy (created in Start, closed in Stop).
+	loops *loopPool
 
 	// recoveryProbe, if set, is called at named points inside recovery
 	// ("marker", "replay", "txn", "aligned") so chaos tests can crash a

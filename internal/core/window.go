@@ -185,6 +185,9 @@ func (w *windowAggregate) fireExpired(wm int64, emit Emit) {
 		toFire = append(toFire, fired{start: start, key: []byte(rest[9:]), acc: append([]byte(nil), v...)})
 		return true
 	})
+	// A watermark jump can expire many windows at once; charge the bulk
+	// firing so the cooperative engine yields at the next batch boundary.
+	w.ctx.Charge(len(toFire))
 	for _, f := range toFire {
 		// Final results carry the window end as their event time (as in
 		// Flink), not the time of the record whose arrival fired them.
