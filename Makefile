@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench bench-compare chaos alloc recovery-smoke scaling-smoke egress-smoke tasklet-smoke
+.PHONY: check build vet fmt test race bench bench-compare chaos fuzz-smoke alloc recovery-smoke scaling-smoke egress-smoke tasklet-smoke
 
 # check is the full gate: build, vet, formatting, unit tests, the
 # race-detector run over the packages with real concurrency, the
-# short seeded chaos suite, and the recovery, scaling, egress, and
-# tasklet smokes.
-check: build vet fmt test race chaos recovery-smoke scaling-smoke egress-smoke tasklet-smoke
+# short seeded chaos suite, the decoder fuzz smokes, and the recovery,
+# scaling, egress, and tasklet smokes.
+check: build vet fmt test race chaos fuzz-smoke recovery-smoke scaling-smoke egress-smoke tasklet-smoke
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,21 @@ race:
 # zombies, shard crashes, partitions) with exactly-once verification.
 chaos:
 	$(GO) test -race -short -run 'TestChaos|TestGenPlan' ./internal/chaos/ -timeout 300s
+
+# fuzz-smoke runs a short randomized burst on every decoder fuzz
+# target on top of its checked-in seed corpus (the seeds alone also run
+# under `make test`): the WAL frame reader, the shared log's cut
+# payload codec, checkpoint-store WAL recovery, and the runtime's
+# marker-checkpoint, aligned-snapshot, and egress-frontier decoders —
+# every byte format that recovery feeds with potentially corrupt input.
+FUZZTIME ?= 3s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime $(FUZZTIME) ./internal/wal/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeCutPayload -fuzztime $(FUZZTIME) ./internal/sharedlog/
+	$(GO) test -run '^$$' -fuzz FuzzRecover -fuzztime $(FUZZTIME) ./internal/kvstore/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeMarkerCheckpoint -fuzztime $(FUZZTIME) ./internal/core/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeAlignedSnapshot -fuzztime $(FUZZTIME) ./internal/core/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeFrontier -fuzztime $(FUZZTIME) ./internal/core/
 
 # alloc runs the hot-path allocation gates explicitly (they also run as
 # part of `make test`): the write-side batch encoder and the read-side

@@ -175,3 +175,34 @@ func (a *App) Stop() {
 	a.mgr.Stop()
 	a.wg.Wait()
 }
+
+// FlushIngress forces every ingress writer to flush its buffered input
+// to the log immediately. Tests drain buffered input this way before
+// injecting a power failure, so input loss is a controlled variable
+// rather than an accident of flush timing.
+func (a *App) FlushIngress() error {
+	var firstErr error
+	for _, writers := range a.ingresses {
+		for _, w := range writers {
+			if err := w.Flush(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// PowerFail models a whole-cluster power loss: the shared log is closed
+// FIRST — in-flight and future appends fail with ErrClosed, exactly as
+// if the machines lost power — and only then are the task goroutines
+// torn down. Anything buffered but not yet acknowledged by the log
+// (ingress buffers, unflushed batches) is lost, as it would be on real
+// hardware; everything the log acknowledged is on the WAL device, ready
+// for a new cluster to Recover. The cluster is unusable afterwards.
+func (a *App) PowerFail() {
+	a.cluster.log.Close()
+	a.cancel()
+	a.mgr.Stop()
+	a.wg.Wait()
+	a.cluster.ckpt.Close()
+}

@@ -13,6 +13,7 @@
 //	impeller-bench -exp recovery -depths 2000,10000  # replay round trips, per-record vs batched
 //	impeller-bench -exp scaling -shards 1,2,4,8  # append throughput vs ordering shards
 //	impeller-bench -exp egress                 # delivered-record latency + sink-kill recovery
+//	impeller-bench -exp durability -depths 2000,10000,50000  # WAL append overhead + recovery vs log length
 //	impeller-bench -exp tail -tpc 1,2,4,8      # deep-tail latency, goroutine vs tasklet engine
 //	impeller-bench -exp tasklet-smoke          # output equivalence across engines
 //
@@ -41,7 +42,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment: table2 | fig7 | fig8 | fig9 | table4 | crossover | chaos | batching | recovery | scaling | egress | tail | tasklet-smoke")
+		exp      = flag.String("exp", "", "experiment: table2 | fig7 | fig8 | fig9 | table4 | crossover | chaos | batching | recovery | scaling | egress | durability | tail | tasklet-smoke")
 		rate     = flag.Int("rate", 0, "offered event rate for single-rate experiments (batching, recovery); 0 = per-query default")
 		query    = flag.Int("query", 0, "NEXMark query (fig7/fig8); 0 = all")
 		rates    = flag.String("rates", "", "comma-separated event rates (events/s)")
@@ -110,6 +111,8 @@ func main() {
 		err = runScaling(parseRates(*shards), *clients, *duration, *scale, progress())
 	case "egress":
 		err = runEgress(*query, *rate, *duration, *simulate, *scale, progress())
+	case "durability":
+		err = runDurability(*query, *rate, *duration, parseRates(*depths), *simulate, *scale, progress())
 	case "tail":
 		err = runTail(*query, *rate, parseRates(*tpc), *duration, *simulate, *scale, progress())
 	case "tasklet-smoke":
@@ -359,6 +362,25 @@ func runEgress(query, rate int, duration time.Duration, simulate bool, scale flo
 	bench.PrintEgress(os.Stdout, res)
 	if csvOut != nil {
 		return bench.WriteEgressCSV(csvOut, res)
+	}
+	return nil
+}
+
+func runDurability(query, rate int, duration time.Duration, depths []int, simulate bool, scale float64, progress *os.File) error {
+	res, err := bench.RunDurability(bench.DurabilityConfig{
+		Query:    query,
+		Rate:     rate,
+		Duration: duration,
+		Depths:   depths,
+		Simulate: simulate,
+		Scale:    scale,
+	}, progress)
+	if err != nil {
+		return err
+	}
+	bench.PrintDurability(os.Stdout, res)
+	if csvOut != nil {
+		return bench.WriteDurabilityCSV(csvOut, res)
 	}
 	return nil
 }

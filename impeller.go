@@ -34,6 +34,7 @@ import (
 	"impeller/internal/kvstore"
 	"impeller/internal/sharedlog"
 	"impeller/internal/sim"
+	"impeller/internal/wal"
 )
 
 // Datum is one application record: key, value, event time (µs).
@@ -232,6 +233,18 @@ type ClusterConfig struct {
 	// EngineLoops overrides the tasklet engine's worker-loop count; 0
 	// selects GOMAXPROCS. Ignored on the goroutine engine.
 	EngineLoops int
+	// WAL, if non-nil, makes the shared log durable: committed cuts are
+	// persisted to the device and acknowledged only once synced. Pass a
+	// device holding a previous run's bytes to recover the log from it
+	// (a whole-cluster restart after power failure); pass a fresh
+	// wal.NewDevice() for a durable-from-empty cluster.
+	WAL *wal.Device
+	// CheckpointWAL, if non-nil, rebuilds the checkpoint store from a
+	// previous run's kvstore WAL (Checkpoints().WAL()). A corrupt tail
+	// is truncated at the last valid entry; mid-log corruption panics —
+	// it means checkpoint history was destroyed, which no restart can
+	// paper over.
+	CheckpointWAL []byte
 }
 
 // Cluster is an in-process Impeller deployment: a shared log, a
@@ -285,6 +298,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		OrderingShards:   cfg.OrderingShards,
 		Faults:           faults,
 		CacheSize:        cacheSize,
+		WAL:              cfg.WAL,
 	}
 	var coordLat sim.LatencyModel
 	kvCfg := kvstore.Config{SyncWrites: cfg.SyncCheckpointStore}
@@ -302,12 +316,42 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		}
 		coordLat = scale(sim.DefaultKafkaLatency(r.Fork()))
 		kvCfg.SyncWrites = true
+		if cfg.WAL != nil {
+			logCfg.WALFlushLatency = scale(sim.DefaultLocalPersistLatency(r.Fork()))
+			logCfg.WALBandwidth = sharedlog.DefaultWALBandwidth
+		}
+	}
+
+	var log *sharedlog.Log
+	if cfg.WAL != nil {
+		// Recover replays whatever the device holds (an empty device
+		// yields a fresh durable log) and truncates a corrupt tail; it
+		// only errors without a device, which cannot happen here.
+		var err error
+		log, err = sharedlog.Recover(logCfg)
+		if err != nil {
+			panic("impeller: " + err.Error())
+		}
+	} else {
+		log = sharedlog.Open(logCfg)
+	}
+	var ckpt *kvstore.Store
+	if cfg.CheckpointWAL != nil {
+		var err error
+		ckpt, err = kvstore.Recover(kvCfg, cfg.CheckpointWAL)
+		if err != nil {
+			// Mid-log corruption: committed checkpoint history was
+			// destroyed. No restart can mask that — fail loudly.
+			panic("impeller: " + err.Error())
+		}
+	} else {
+		ckpt = kvstore.Open(kvCfg)
 	}
 
 	c := &Cluster{
 		cfg:    cfg,
-		log:    sharedlog.Open(logCfg),
-		ckpt:   kvstore.Open(kvCfg),
+		log:    log,
+		ckpt:   ckpt,
 		rand:   r,
 		faults: faults,
 	}

@@ -83,6 +83,10 @@ func WriteFig7CSV(w io.Writer, series []*Fig7Series) error {
 				strconv.FormatUint(p.Delivery.Redelivered, 10),
 				strconv.FormatUint(p.Delivery.PermanentFailures, 10),
 				strconv.FormatUint(p.Delivery.DeadLettered, 10),
+				strconv.FormatUint(p.Log.WALBytes, 10),
+				strconv.FormatUint(p.Log.WALFlushes, 10),
+				strconv.FormatUint(p.Log.RecoveredRecords, 10),
+				strconv.FormatUint(p.Log.WALTruncations, 10),
 			})
 		}
 	}
@@ -93,7 +97,8 @@ func WriteFig7CSV(w io.Writer, series []*Fig7Series) error {
 			"batch_appends", "mean_append_batch", "batch_stalls",
 			"cursor_opens", "cursor_batch_reads", "cursor_records",
 			"cursor_prefetch_hits", "cursor_prefetch_misses", "cursor_invalidations",
-			"delivery_attempts", "delivery_redelivered", "delivery_permanent_failures", "delivery_dead_lettered"},
+			"delivery_attempts", "delivery_redelivered", "delivery_permanent_failures", "delivery_dead_lettered",
+			"wal_bytes", "wal_flushes", "recovered_records", "wal_truncations"},
 		out)
 }
 
@@ -149,5 +154,43 @@ func WriteRecoveryCSV(w io.Writer, points []RecoveryPoint) error {
 	return writeCSV(w,
 		[]string{"depth", "change_records", "mode", "read_batch", "replay_roundtrips",
 			"replay_records", "replayed_changes", "recovery_us", "ttfo_us"},
+		out)
+}
+
+// WriteDurabilityCSV exports the durability experiment, distinguished
+// by the phase column: overhead rows leave the depth columns empty and
+// recovery rows leave the latency columns empty.
+func WriteDurabilityCSV(w io.Writer, res *DurabilityResult) error {
+	u64 := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	var out [][]string
+	for _, p := range []*RunResult{res.Off, res.On} {
+		if p == nil {
+			continue
+		}
+		out = append(out, []string{
+			"overhead", strconv.FormatBool(p.Config.Durable),
+			strconv.Itoa(p.Config.Query), strconv.Itoa(p.Config.Rate),
+			us(p.P50), us(p.P99), us(p.Mean),
+			u64(p.Sent), u64(p.Received),
+			u64(p.Log.WALBytes), u64(p.Log.WALAppends), u64(p.Log.WALFlushes),
+			"", "", "", "", "",
+		})
+	}
+	for _, p := range res.Recovery {
+		out = append(out, []string{
+			"recovery", "true", "", "",
+			"", "", "",
+			"", "",
+			u64(p.WALBytes), "", "",
+			strconv.Itoa(p.Depth), u64(p.Records), u64(p.MetaOps),
+			us(p.Recovery), fmt.Sprintf("%.2f", p.MBPerSec),
+		})
+	}
+	return writeCSV(w,
+		[]string{"phase", "durable", "query", "rate_eps",
+			"p50_us", "p99_us", "mean_us", "sent", "received",
+			"wal_bytes", "wal_appends", "wal_flushes",
+			"depth", "recovered_records", "recovered_metaops",
+			"recovery_us", "replay_mb_s"},
 		out)
 }

@@ -10,6 +10,7 @@ import (
 	"impeller/internal/core"
 	"impeller/internal/nexmark"
 	"impeller/internal/sharedlog"
+	"impeller/internal/wal"
 )
 
 // RunConfig configures one NEXMark measurement run (one point of
@@ -67,6 +68,12 @@ type RunConfig struct {
 	Egress bool
 	// Engine selects the task execution engine (goroutine or tasklet).
 	Engine impeller.EngineMode
+	// Durable persists the shared log to a checksummed WAL device
+	// (internal/wal): every committed cut is appended and flushed before
+	// the append is acknowledged. Under SimulateLatency the flush is
+	// charged at the calibrated device latency — the append-overhead
+	// axis of -exp durability.
+	Durable bool
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -133,7 +140,7 @@ func (r *RunResult) String() string {
 // and its emission time from the output operator").
 func RunNexmark(cfg RunConfig) (*RunResult, error) {
 	cfg = cfg.withDefaults()
-	cluster := impeller.NewCluster(impeller.ClusterConfig{
+	clusterCfg := impeller.ClusterConfig{
 		Protocol:             cfg.Protocol,
 		CommitInterval:       cfg.CommitInterval,
 		SnapshotInterval:     cfg.SnapshotInterval,
@@ -151,7 +158,11 @@ func RunNexmark(cfg RunConfig) (*RunResult, error) {
 		OrderingInterval:     cfg.OrderingInterval,
 		OrderingShards:       cfg.OrderingShards,
 		Engine:               cfg.Engine,
-	})
+	}
+	if cfg.Durable {
+		clusterCfg.WAL = wal.NewDevice()
+	}
+	cluster := impeller.NewCluster(clusterCfg)
 	defer cluster.Close()
 
 	topo, err := nexmark.BuildOpts(cfg.Query, nexmark.Options{PerUpdateWindows: true})

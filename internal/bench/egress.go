@@ -148,6 +148,7 @@ func WriteEgressCSV(w io.Writer, res *EgressResult) error {
 			u64(d.Delivered), u64(d.Attempts), u64(d.Redelivered), u64(d.TransientErrors),
 			u64(d.PermanentFailures), u64(d.DeadLettered), u64(d.FrontierPersists),
 			"", "", "", "", "",
+			u64(p.Log.WALBytes), u64(p.Log.WALFlushes), u64(p.Log.RecoveredRecords), u64(p.Log.WALTruncations),
 		})
 	}
 	for _, r := range res.Chaos {
@@ -159,6 +160,7 @@ func WriteEgressCSV(w io.Writer, res *EgressResult) error {
 			u64(d.PermanentFailures), u64(d.DeadLettered), u64(d.FrontierPersists),
 			strconv.Itoa(r.SinkIncarnations), u64(r.ConsumerDeduped), u64(r.ConsumerAcksLost),
 			us(r.RecoverToDeliver), strconv.FormatBool(r.Converged && r.Violation == ""),
+			"", "", "", "",
 		})
 	}
 	return writeCSV(w,
@@ -167,6 +169,7 @@ func WriteEgressCSV(w io.Writer, res *EgressResult) error {
 			"delivered", "attempts", "redelivered", "transient_errors",
 			"permanent_failures", "dead_lettered", "frontier_persists",
 			"sink_incarnations", "consumer_deduped", "acks_lost",
-			"recover_to_deliver_us", "exactly_once"},
+			"recover_to_deliver_us", "exactly_once",
+			"wal_bytes", "wal_flushes", "recovered_records", "wal_truncations"},
 		out)
 }

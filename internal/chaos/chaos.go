@@ -372,8 +372,10 @@ type Result struct {
 	// RecoverToDeliver is the longest gap between a sink kill and the
 	// replacement's first successful delivery.
 	RecoverToDeliver time.Duration
-	// Restarts sums task restarts; Zombified counts zombies actually
-	// planted (a zombify racing a concurrent restart may miss).
+	// Restarts sums task restarts; Zombified counts exactly the zombies
+	// actually planted: Manager.Zombify refuses an instance that has
+	// already exited, so a zombify racing a concurrent kill/restart is
+	// reported as an error and not counted.
 	Restarts, Zombified int
 	// Retries / CondFailed / DecodeFailures observe the retry layer,
 	// the log's fencing rejections, and corrupt-checkpoint fallbacks.

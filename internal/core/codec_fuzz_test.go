@@ -1,0 +1,90 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeAlignedSnapshot asserts the aligned-checkpoint decoder is
+// total over arbitrary bytes — it either decodes or errors, never
+// panics or over-allocates — and that a successful decode round-trips
+// through the canonical encoding (maps are sorted on encode, so
+// re-encoding a decoded snapshot is byte-stable).
+func FuzzDecodeAlignedSnapshot(f *testing.F) {
+	store := NewStateStore(nil)
+	store.Put("word", []byte("7"))
+	valid := (&alignedSnapshot{
+		Epoch:    5,
+		OutSeq:   42,
+		Barriers: map[TaskID]LSN{"wc/split/0": 17, "ingress/0": 3},
+		LastSeq:  map[TaskID]uint64{"wc/split/0": 9},
+		State:    store.Snapshot(),
+	}).encode()
+	f.Add(valid)
+	f.Add((&alignedSnapshot{}).encode())
+	f.Add([]byte{})
+	f.Add(valid[:16])
+	f.Add(valid[:len(valid)-3])
+	f.Add(bytes.Repeat([]byte{0xff}, 48))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := decodeAlignedSnapshot(data)
+		if err != nil {
+			if s != nil {
+				t.Fatal("error with non-nil snapshot")
+			}
+			return
+		}
+		enc := s.encode()
+		again, err := decodeAlignedSnapshot(enc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded snapshot failed: %v", err)
+		}
+		if again.Epoch != s.Epoch || again.OutSeq != s.OutSeq ||
+			!reflect.DeepEqual(again.Barriers, s.Barriers) ||
+			!reflect.DeepEqual(again.LastSeq, s.LastSeq) ||
+			!bytes.Equal(again.State, s.State) {
+			t.Fatal("aligned snapshot round trip not stable")
+		}
+		if !bytes.Equal(enc, again.encode()) {
+			t.Fatal("canonical encoding not byte-stable")
+		}
+	})
+}
+
+// FuzzDecodeFrontier asserts the egress ack-frontier decoder is total
+// and round-trips through the canonical sorted encoding — the property
+// a restarted delivery sink relies on when it loads the last persisted
+// frontier from the log.
+func FuzzDecodeFrontier(f *testing.F) {
+	valid := encodeFrontier(1234, map[ackKey]uint64{
+		{0, "q1/map/0"}: 17,
+		{1, "q1/map/0"}: 9,
+		{0, "q1/map/1"}: 2,
+	})
+	f.Add(valid)
+	f.Add(encodeFrontier(0, nil))
+	f.Add([]byte{})
+	f.Add(valid[:12])
+	f.Add(valid[:len(valid)-5])
+	f.Add(bytes.Repeat([]byte{0xff}, 32))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resume, acked, err := decodeFrontier(data)
+		if err != nil {
+			return
+		}
+		enc := encodeFrontier(resume, acked)
+		resume2, acked2, err := decodeFrontier(enc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded frontier failed: %v", err)
+		}
+		if resume2 != resume || !reflect.DeepEqual(acked2, acked) {
+			t.Fatal("frontier round trip not stable")
+		}
+		if !bytes.Equal(enc, encodeFrontier(resume2, acked2)) {
+			t.Fatal("canonical encoding not byte-stable")
+		}
+	})
+}

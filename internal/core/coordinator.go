@@ -270,18 +270,37 @@ type CkptCoordinator struct {
 	started      time.Time
 	clock        interface{ Now() time.Time }
 	timeout      time.Duration
+	meta         *sharedlog.MetaStore // durable completed-epoch record
 }
 
+// ckptCompletedKey is the log-metadata key recording the newest fully
+// acked aligned checkpoint. The coordinator's other state is
+// reconstructible (a restart simply initiates the next epoch), but the
+// completed epoch gates recovery — losing it to a power failure would
+// silently roll every task back to scratch even though their snapshots
+// survived in the checkpoint store.
+const ckptCompletedKey = "ckpt/completed"
+
 // NewCkptCoordinator builds a coordinator; participants are registered
-// before Start.
+// before Start. On a recovered log it resumes from the durably recorded
+// completed epoch, so post-restart checkpoints continue the epoch
+// sequence instead of reusing epochs tasks already snapshotted.
 func NewCkptCoordinator(env *Env) *CkptCoordinator {
-	return &CkptCoordinator{
+	c := &CkptCoordinator{
 		pending:      make(map[TaskID]bool),
 		participants: make(map[TaskID]bool),
 		sources:      make(map[TaskID]uint64),
 		clock:        env.Clock,
 		timeout:      10 * env.CommitInterval,
 	}
+	if env.Log != nil {
+		c.meta = env.Log.Meta()
+		if v, ok := c.meta.Get(ckptCompletedKey); ok {
+			c.completed = v
+			c.epoch = v
+		}
+	}
+	return c
 }
 
 // AddParticipant registers a task (or source) whose ack gates
@@ -352,6 +371,12 @@ func (c *CkptCoordinator) Ack(id TaskID, epoch uint64) {
 func (c *CkptCoordinator) maybeCompleteLocked() {
 	if len(c.pending) == 0 && c.epoch > c.completed {
 		c.completed = c.epoch
+		if c.meta != nil {
+			// Every task's snapshot Put for this epoch has completed (the
+			// acks gate on them), so recording the epoch now means a
+			// recovered cluster only ever points at snapshots that exist.
+			c.meta.Set(ckptCompletedKey, c.completed)
+		}
 	}
 }
 

@@ -666,6 +666,11 @@ func decodeFrontier(b []byte) (LSN, map[ackKey]uint64, error) {
 	resume := LSN(binary.LittleEndian.Uint64(b))
 	n := int(binary.LittleEndian.Uint32(b[8:]))
 	b = b[12:]
+	// An entry is at least 14 bytes (u32 partition + u16 length + u64
+	// seq); reject corrupt counts before allocating.
+	if n > len(b)/14 {
+		return 0, nil, errBadFrontier
+	}
 	acked := make(map[ackKey]uint64, n)
 	for i := 0; i < n; i++ {
 		if len(b) < 6 {

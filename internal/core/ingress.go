@@ -34,11 +34,19 @@ type Ingress struct {
 	// Env.Batch at construction, off when MaxRecords is pinned to 1.
 	batched bool
 
-	mu   sync.Mutex
-	bufs []*batchBuf
-	seq  uint64
-	sent uint64
+	mu       sync.Mutex
+	bufs     []*batchBuf
+	seq      uint64
+	sent     uint64
+	reserved uint64 // highest seq persisted to the log's metadata KV
 }
+
+// seqReservationKey is the log-metadata key an ingress writer reserves
+// its sequence counter under, so a writer restarted after a power
+// failure resumes above every sequence number that may already be
+// durable. Downstream dedup is a per-producer floor, so the gap a crash
+// leaves between the reservation and the last durable record is safe.
+func seqReservationKey(id TaskID) string { return "iseq/" + string(id) }
 
 // NewIngress builds an ingress writer for stream with the given
 // substream count (the consuming stage's parallelism).
@@ -47,12 +55,21 @@ func NewIngress(id TaskID, stream StreamID, partitions int, env *Env, ckpt *Ckpt
 	for i := range bufs {
 		bufs[i] = &batchBuf{}
 	}
-	return &Ingress{
+	g := &Ingress{
 		ID: id, stream: stream, partitions: partitions, env: env, ckpt: ckpt,
 		bufs:    bufs,
 		batched: env.Batch.withDefaults().MaxRecords > 1,
 		retry:   newRetrier(env, ComputeNode(id), nil),
 	}
+	// Resume the sequence counter above this writer's durable
+	// reservation (zero on a fresh log): records sent after a
+	// whole-cluster restart must not collide with sequence numbers the
+	// downstream dedup floors already absorbed.
+	if v, ok := env.Log.Meta().Get(seqReservationKey(id)); ok {
+		g.seq = v
+		g.reserved = v
+	}
+	return g
 }
 
 // Send buffers one input record; key selects the substream.
@@ -94,7 +111,20 @@ func (g *Ingress) flush(ctx context.Context) error {
 			out = append(out, ingressPending{sub: sub, records: buf.take()})
 		}
 	}
+	reserve := uint64(0)
+	if len(out) > 0 && g.seq > g.reserved {
+		reserve = g.seq
+		g.reserved = g.seq
+	}
 	g.mu.Unlock()
+
+	// Reserve before appending: the metadata journal entry reaches the
+	// log's WAL (and is synced) before any of this flush's data frames,
+	// so if a power failure preserves a data record, the reservation
+	// covering its sequence number is durable too.
+	if reserve > 0 {
+		g.env.Log.Meta().Set(seqReservationKey(g.ID), reserve)
+	}
 
 	var err error
 	if g.batched {

@@ -339,13 +339,22 @@ func (m *Manager) KillAll() {
 
 // Zombify simulates a network partition between the task and the
 // manager: heartbeats stop arriving, the monitor starts a replacement,
-// but the old instance keeps running until the log fences it.
+// but the old instance keeps running until the log fences it. If the
+// current instance has already exited — a zombify racing a concurrent
+// kill/restart — there is nothing left to partition, so Zombify
+// reports an error instead of marking a dead handle (which would plant
+// no zombie yet still count as one in chaos accounting).
 func (m *Manager) Zombify(id TaskID) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	h, ok := m.handles[id]
 	if !ok {
 		return fmt.Errorf("core: unknown task %s", id)
+	}
+	select {
+	case <-h.done:
+		return fmt.Errorf("core: task %s instance already exited; no zombie to plant", id)
+	default:
 	}
 	h.zombie.Store(true)
 	h.lastHB.Store(0)

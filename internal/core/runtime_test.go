@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -363,6 +364,51 @@ func TestChaosExactlyOnce(t *testing.T) {
 			}
 			t.Logf("%s: survived %d restarts with exact counts", proto, total)
 		})
+	}
+}
+
+// TestZombifyExitedInstanceErrors pins the zombify/restart race:
+// zombifying a task whose current instance has already exited must
+// report an error (there is no running instance to turn into a
+// zombie), so chaos accounting counts only zombies actually planted.
+func TestZombifyExitedInstanceErrors(t *testing.T) {
+	c := startWordCount(t, ProtoProgressMarker, 1, 1)
+
+	// Park the monitor so the killed instance is not replaced while the
+	// test probes the exited window; sleep past the old 25 ms tick so
+	// the monitor loop has re-armed with the long interval.
+	c.mgr.SetTimeouts(time.Hour, time.Hour)
+	time.Sleep(100 * time.Millisecond)
+
+	victim := TaskID("wc/count/0")
+	if err := c.mgr.Zombify(victim); err != nil {
+		t.Fatalf("zombify of a live instance failed: %v", err)
+	}
+
+	if err := c.mgr.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := c.mgr.Zombify(victim)
+		if err != nil {
+			if !strings.Contains(err.Error(), "already exited") {
+				t.Fatalf("unexpected zombify error: %v", err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("zombify kept succeeding after the instance was killed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A replacement instance is zombifiable again.
+	if err := c.mgr.RestartNow(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.mgr.Zombify(victim); err != nil {
+		t.Fatalf("zombify of the replacement failed: %v", err)
 	}
 }
 

@@ -8,19 +8,21 @@
 // latency before the call returns. The WAL is a real, replayable byte
 // log — Recover rebuilds a store from it — so durability is a tested
 // property rather than an assumption, even though "disk" is a buffer in
-// process memory.
+// process memory. Frames use the shared checksummed format from
+// internal/wal (the same codec the durable shared log persists cuts
+// with), so Recover distinguishes a torn tail — truncate at the last
+// valid entry and continue — from mid-log corruption, which fails hard.
 package kvstore
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"sync"
 	"time"
 
 	"impeller/internal/sim"
+	"impeller/internal/wal"
 )
 
 // Config configures a Store.
@@ -65,7 +67,8 @@ func (c Config) withDefaults() Config {
 // ErrClosed reports an operation on a closed store.
 var ErrClosed = errors.New("kvstore: store closed")
 
-// walOp is a WAL record type.
+// walOp is a WAL record type (the frame kind byte in the shared
+// internal/wal framing).
 type walOp byte
 
 const (
@@ -78,11 +81,12 @@ const (
 type Store struct {
 	cfg Config
 
-	mu     sync.RWMutex
-	data   map[string][]byte
-	wal    bytes.Buffer
-	walOps int
-	closed bool
+	mu        sync.RWMutex
+	data      map[string][]byte
+	wal       []byte
+	walOps    int
+	truncated int // bytes discarded from a corrupt WAL tail at Recover
+	closed    bool
 }
 
 // Open creates an empty store.
@@ -91,31 +95,60 @@ func Open(cfg Config) *Store {
 }
 
 // Recover rebuilds a store's contents by replaying a WAL previously
-// obtained from WAL(). It validates record framing and fails on a
-// corrupt log.
-func Recover(cfg Config, wal []byte) (*Store, error) {
+// obtained from WAL(). Every frame is checksum-validated. Corruption in
+// the *tail* — a torn final write, nothing valid after the bad frame —
+// is recovered from gracefully by truncating at the last valid entry
+// (the surviving prefix is exactly the state of some earlier consistent
+// store; TruncatedBytes reports what was dropped). Corruption in the
+// *middle* of the log — valid frames follow the bad one, so committed
+// mutations were destroyed, which truncation cannot mask — still fails
+// hard.
+func Recover(cfg Config, image []byte) (*Store, error) {
 	s := Open(cfg)
-	r := bytes.NewReader(wal)
+	r := wal.NewReader(image)
+	prev := 0 // offset of the frame about to be read
 	for {
-		op, key, value, err := readWALRecord(r)
-		if err == io.EOF {
+		kind, payload, ok := r.Next()
+		if !ok {
 			break
 		}
+		key, value, err := decodeWALPayload(walOp(kind), payload)
 		if err != nil {
-			return nil, fmt.Errorf("kvstore: corrupt WAL: %w", err)
+			// Checksum held but the body does not parse. prev is the bad
+			// frame's start — the reader already advanced past it.
+			if wal.HasFrameAfter(image, prev) {
+				return nil, fmt.Errorf("kvstore: corrupt WAL: %w", err)
+			}
+			// Malformed frame at the very end: treat like tail damage.
+			s.truncated = len(image) - prev
+			s.wal = append(s.wal, image[:prev]...)
+			return s, nil
 		}
-		switch op {
+		switch walOp(kind) {
 		case walPut:
 			s.data[key] = value
 		case walDelete:
 			delete(s.data, key)
-		default:
-			return nil, fmt.Errorf("kvstore: corrupt WAL: unknown op %d", op)
 		}
 		s.walOps++
+		prev = r.Offset()
 	}
-	s.wal.Write(wal)
+	if err := r.Err(); err != nil {
+		if wal.HasFrameAfter(image, r.Offset()) {
+			return nil, fmt.Errorf("kvstore: corrupt WAL: %w", err)
+		}
+		s.truncated = len(image) - r.Offset()
+	}
+	s.wal = append(s.wal, image[:r.Offset()]...)
 	return s, nil
+}
+
+// TruncatedBytes reports how many corrupt tail bytes Recover discarded
+// when this store was rebuilt (0 for a clean WAL or a fresh store).
+func (s *Store) TruncatedBytes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.truncated
 }
 
 // Close marks the store closed; subsequent mutations fail.
@@ -150,7 +183,7 @@ func (s *Store) Put(key string, value []byte) error {
 	}
 	v := append([]byte(nil), value...)
 	s.data[key] = v
-	writeWALRecord(&s.wal, walPut, key, v)
+	s.wal = wal.AppendFrame(s.wal, byte(walPut), encodeWALPayload(key, v))
 	s.walOps++
 	s.mu.Unlock()
 	s.chargeFlush(len(key) + len(v))
@@ -177,7 +210,7 @@ func (s *Store) Delete(key string) error {
 		return ErrClosed
 	}
 	delete(s.data, key)
-	writeWALRecord(&s.wal, walDelete, key, nil)
+	s.wal = wal.AppendFrame(s.wal, byte(walDelete), encodeWALPayload(key, nil))
 	s.walOps++
 	s.mu.Unlock()
 	s.chargeFlush(len(key))
@@ -221,7 +254,7 @@ func (s *Store) DataSize() int {
 func (s *Store) WAL() []byte {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return append([]byte(nil), s.wal.Bytes()...)
+	return append([]byte(nil), s.wal...)
 }
 
 // WALOps reports how many mutations the WAL holds.
@@ -231,48 +264,36 @@ func (s *Store) WALOps() int {
 	return s.walOps
 }
 
-// writeWALRecord frames one mutation: op byte, key length, key, value
-// length (0xFFFFFFFF for delete), value.
-func writeWALRecord(w *bytes.Buffer, op walOp, key string, value []byte) {
-	var hdr [9]byte
-	hdr[0] = byte(op)
-	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(key)))
-	if op == walDelete {
-		binary.LittleEndian.PutUint32(hdr[5:9], 0xFFFFFFFF)
-	} else {
-		binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(value)))
-	}
-	w.Write(hdr[:])
-	w.WriteString(key)
-	if op != walDelete {
-		w.Write(value)
-	}
+// encodeWALPayload frames one mutation's body (the frame kind carries
+// the op): u32 key length, key, value. Deletes carry no value.
+func encodeWALPayload(key string, value []byte) []byte {
+	buf := make([]byte, 0, 4+len(key)+len(value))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	return append(buf, value...)
 }
 
-func readWALRecord(r *bytes.Reader) (walOp, string, []byte, error) {
-	var hdr [9]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		if err == io.ErrUnexpectedEOF {
-			return 0, "", nil, errors.New("truncated header")
-		}
-		return 0, "", nil, err
+// decodeWALPayload parses one frame body. It is total over arbitrary
+// bytes: parse or error, never panic.
+func decodeWALPayload(op walOp, payload []byte) (key string, value []byte, err error) {
+	if op != walPut && op != walDelete {
+		return "", nil, fmt.Errorf("unknown op %d", op)
 	}
-	op := walOp(hdr[0])
-	keyLen := binary.LittleEndian.Uint32(hdr[1:5])
-	valLen := binary.LittleEndian.Uint32(hdr[5:9])
-	key := make([]byte, keyLen)
-	if _, err := io.ReadFull(r, key); err != nil {
-		return 0, "", nil, errors.New("truncated key")
+	if len(payload) < 4 {
+		return "", nil, errors.New("truncated payload header")
 	}
+	keyLen := int(binary.LittleEndian.Uint32(payload))
+	payload = payload[4:]
+	if keyLen < 0 || len(payload) < keyLen {
+		return "", nil, errors.New("truncated key")
+	}
+	key = string(payload[:keyLen])
+	rest := payload[keyLen:]
 	if op == walDelete {
-		if valLen != 0xFFFFFFFF {
-			return 0, "", nil, errors.New("bad delete framing")
+		if len(rest) != 0 {
+			return "", nil, errors.New("delete frame carries a value")
 		}
-		return op, string(key), nil, nil
+		return key, nil, nil
 	}
-	value := make([]byte, valLen)
-	if _, err := io.ReadFull(r, value); err != nil {
-		return 0, "", nil, errors.New("truncated value")
-	}
-	return op, string(key), value, nil
+	return key, append([]byte(nil), rest...), nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"impeller/internal/sim"
+	"impeller/internal/wal"
 )
 
 func TestPutGetDelete(t *testing.T) {
@@ -131,18 +132,80 @@ func TestWALRecoverRebuildsState(t *testing.T) {
 	}
 }
 
-func TestRecoverCorruptWALFails(t *testing.T) {
+func TestRecoverCorruptTailTruncates(t *testing.T) {
+	// Tail-only damage — a torn final write — recovers gracefully by
+	// truncating at the last valid entry instead of failing.
+	s := Open(Config{})
+	if err := s.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	prefixLen := len(s.WAL())
+	if err := s.Put("b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	image := s.WAL()
+	torn := image[:len(image)-3] // last frame loses its final bytes
+
+	r, err := Recover(Config{}, torn)
+	if err != nil {
+		t.Fatalf("torn tail should recover: %v", err)
+	}
+	if v, ok := r.Get("a"); !ok || string(v) != "1" {
+		t.Fatalf("surviving entry a = %q,%v", v, ok)
+	}
+	if _, ok := r.Get("b"); ok {
+		t.Fatal("torn entry replayed")
+	}
+	if got, want := r.TruncatedBytes(), len(torn)-prefixLen; got != want {
+		t.Fatalf("TruncatedBytes = %d, want %d", got, want)
+	}
+	// The kept WAL is the valid prefix: a second recovery is clean and a
+	// new mutation extends it without burying corrupt bytes.
+	if err := r.Put("c", []byte("3")); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Recover(Config{}, r.WAL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.TruncatedBytes() != 0 || r2.Len() != 2 {
+		t.Fatalf("second recovery: truncated=%d len=%d", r2.TruncatedBytes(), r2.Len())
+	}
+}
+
+func TestRecoverMidLogCorruptionFails(t *testing.T) {
+	// Corruption with valid frames after it means committed mutations
+	// were destroyed mid-log; truncation cannot mask that, so Recover
+	// must fail hard.
+	s := Open(Config{})
+	if err := s.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	image := s.WAL()
+	image[wal.HeaderSize+1] ^= 0xff // flip a byte inside the first frame's payload
+	if _, err := Recover(Config{}, image); err == nil {
+		t.Fatal("mid-log corruption recovered silently")
+	}
+}
+
+func TestRecoverFullyCorruptSingleFrame(t *testing.T) {
+	// One frame, corrupted: nothing valid follows, so this is tail
+	// damage — recover to the empty store.
 	s := Open(Config{})
 	if err := s.Put("k", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	wal := s.WAL()
-	if _, err := Recover(Config{}, wal[:len(wal)-1]); err == nil {
-		t.Fatal("truncated WAL recovered silently")
+	image := s.WAL()
+	image[0] = 99 // destroy the magic
+	r, err := Recover(Config{}, image)
+	if err != nil {
+		t.Fatalf("single corrupt frame should degrade to empty store: %v", err)
 	}
-	wal[0] = 99 // unknown op
-	if _, err := Recover(Config{}, wal); err == nil {
-		t.Fatal("unknown op recovered silently")
+	if r.Len() != 0 || r.TruncatedBytes() != len(image) {
+		t.Fatalf("len=%d truncated=%d", r.Len(), r.TruncatedBytes())
 	}
 }
 

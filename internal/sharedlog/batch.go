@@ -108,6 +108,11 @@ func (l *Log) AppendBatch(entries []AppendEntry) ([]AppendResult, error) {
 		results := make([]appendResult, len(pend))
 		recs := l.orderLocked(pend, results, make([]*Record, 0, len(pend)))
 		l.publishLocked(recs)
+		if l.dur != nil {
+			// One frame, one sync for the whole group — the durability
+			// plane inherits the group-commit amortization.
+			l.dur.writeCut(recs)
+		}
 		l.mu.Unlock()
 		return publicResults(results), nil
 	}

@@ -56,6 +56,7 @@ import (
 	"time"
 
 	"impeller/internal/sim"
+	"impeller/internal/wal"
 )
 
 // LSN is a log sequence number: the position of a record in the global
@@ -153,6 +154,16 @@ type Config struct {
 	// (Boki's function-node storage cache, paper §5.3); cache hits skip
 	// the read latency. Zero disables caching.
 	CacheSize int
+	// WAL, if non-nil, enables the durability plane: every committed cut,
+	// metadata mutation, trim horizon, and aux attachment is appended to
+	// the device as a checksummed frame and synced before the append is
+	// acknowledged. Recover rebuilds a log from the same device.
+	WAL *wal.Device
+	// WALFlushLatency charges a fixed simulated latency per cut flush
+	// (fsync); nil charges nothing. WALBandwidth additionally charges
+	// bytes/second for the synced frame; 0 charges nothing.
+	WALFlushLatency sim.LatencyModel
+	WALBandwidth    int
 }
 
 func (c Config) withDefaults() Config {
@@ -197,6 +208,9 @@ type Log struct {
 	cache *readCache
 	stats logStats
 
+	// Durability plane (nil unless Config.WAL is set).
+	dur *durability
+
 	closed    atomic.Bool
 	closeOnce sync.Once
 	done      chan struct{} // closed when the log closes; wakes waiters
@@ -225,6 +239,9 @@ func Open(cfg Config) *Log {
 	l.shards = make([]*shard, cfg.NumShards)
 	for i := range l.shards {
 		l.shards[i] = &shard{name: fmt.Sprintf("shard/%d", i)}
+	}
+	if cfg.WAL != nil {
+		l.attachWAL()
 	}
 	if cfg.OrderingInterval > 0 {
 		l.ordering = true

@@ -14,6 +14,10 @@ import "sync"
 type MetaStore struct {
 	mu sync.Mutex
 	m  map[string]uint64
+	// journal, when set by the durability plane, is invoked under mu for
+	// every mutation so metadata changes reach the WAL in the order they
+	// were applied (del=true for Delete, else a set of value).
+	journal func(del bool, key string, value uint64)
 }
 
 // NewMetaStore returns an empty metadata store.
@@ -34,6 +38,9 @@ func (s *MetaStore) Set(key string, value uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.m[key] = value
+	if s.journal != nil {
+		s.journal(false, key, value)
+	}
 }
 
 // CompareAndSwap sets key to new iff it currently holds old. A missing
@@ -46,6 +53,9 @@ func (s *MetaStore) CompareAndSwap(key string, old, new uint64) bool {
 		return false
 	}
 	s.m[key] = new
+	if s.journal != nil {
+		s.journal(false, key, new)
+	}
 	return true
 }
 
@@ -56,6 +66,9 @@ func (s *MetaStore) Increment(key string) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.m[key]++
+	if s.journal != nil {
+		s.journal(false, key, s.m[key])
+	}
 	return s.m[key]
 }
 
@@ -64,4 +77,7 @@ func (s *MetaStore) Delete(key string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.m, key)
+	if s.journal != nil {
+		s.journal(true, key, 0)
+	}
 }

@@ -155,6 +155,13 @@ func (l *Log) append(tags []Tag, payload []byte, condKey string, condWant uint64
 			return 0, ErrCondFailed
 		}
 		lsn := l.commitLocked(rec)
+		if l.dur != nil {
+			// Durability: the cut-of-one is framed and synced before the
+			// append returns (ack-after-durable). Still under l.mu, the
+			// serial-persist path, so frames land in LSN order.
+			one := [1]*Record{rec}
+			l.dur.writeCut(one[:])
+		}
 		l.mu.Unlock()
 		return lsn, nil
 	}
@@ -383,6 +390,15 @@ func (l *Log) cutLoop() {
 		}
 		l.publishLocked(recs)
 		l.mu.Unlock()
+		// Durability: frame and sync the whole cut before any append
+		// response is delivered (ack-after-durable). Off the global mutex —
+		// the cut loop is the only committer in sequencer mode, so frames
+		// still land in LSN order — and one flush covers the entire cut,
+		// which is the group-commit amortization the durability plane
+		// inherits from the ordering plane.
+		if l.dur != nil {
+			l.dur.writeCut(recs)
+		}
 		if total > 0 {
 			l.stats.cuts.Add(1)
 			l.stats.cutBatch.Add(uint64(total))

@@ -259,6 +259,9 @@ func (l *Log) SetAux(lsn LSN, aux []byte) error {
 	if rec, err := l.store.get(lsn); err == nil && rec != nil {
 		l.cache.update(lsn, rec)
 	}
+	if l.dur != nil {
+		l.dur.writeAux(lsn, aux)
+	}
 	return nil
 }
 
@@ -282,6 +285,9 @@ func (l *Log) Trim(upTo LSN) error {
 	l.index.prune(upTo)
 	l.cache.invalidate(upTo)
 	l.stats.trims.Add(1)
+	if l.dur != nil {
+		l.dur.writeTrim(upTo)
+	}
 	return nil
 }
 

@@ -30,6 +30,15 @@ type logStats struct {
 	cursorInvalidations  atomic.Uint64 // cursors invalidated by Trim
 
 	trims atomic.Uint64
+
+	// Durability plane: what the last Recover replayed and truncated.
+	// Device write counters (bytes/appends/flushes) live on the wal.Device
+	// itself and are folded in by Stats().
+	recoveredRecords  atomic.Uint64
+	recoveredMetaOps  atomic.Uint64
+	recoveredTrims    atomic.Uint64
+	walTruncations    atomic.Uint64
+	walTruncatedBytes atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of the log's observability counters
@@ -104,6 +113,21 @@ type Stats struct {
 	// Trims counts Trim calls that advanced the horizon.
 	Trims uint64
 
+	// Durability plane (all zero when Config.WAL is unset). WALBytes,
+	// WALAppends, and WALFlushes are the device's write counters;
+	// RecoveredRecords / RecoveredMetaOps / RecoveredTrims count what
+	// Recover replayed from the WAL; WALTruncations counts
+	// truncate-at-corruption events during recovery and
+	// WALTruncatedBytes the bytes they discarded.
+	WALBytes          uint64
+	WALAppends        uint64
+	WALFlushes        uint64
+	RecoveredRecords  uint64
+	RecoveredMetaOps  uint64
+	RecoveredTrims    uint64
+	WALTruncations    uint64
+	WALTruncatedBytes uint64
+
 	// Tail and TrimHorizon locate the live window of the log.
 	Tail        LSN
 	TrimHorizon LSN
@@ -167,6 +191,14 @@ func (l *Log) Stats() Stats {
 	s.PrefetchHits = l.stats.cursorPrefetchHits.Load()
 	s.PrefetchMisses = l.stats.cursorPrefetchMisses.Load()
 	s.CursorInvalidations = l.stats.cursorInvalidations.Load()
+	if l.dur != nil {
+		s.WALBytes, s.WALAppends, s.WALFlushes = l.dur.dev.Stats()
+		s.RecoveredRecords = l.stats.recoveredRecords.Load()
+		s.RecoveredMetaOps = l.stats.recoveredMetaOps.Load()
+		s.RecoveredTrims = l.stats.recoveredTrims.Load()
+		s.WALTruncations = l.stats.walTruncations.Load()
+		s.WALTruncatedBytes = l.stats.walTruncatedBytes.Load()
+	}
 	return s
 }
 

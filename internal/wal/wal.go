@@ -1,0 +1,253 @@
+// Package wal provides the checksummed, length-prefixed write-ahead-log
+// framing shared by the durable shared log (internal/sharedlog) and the
+// checkpoint store (internal/kvstore), plus an in-memory Device that
+// models a disk with explicit sync semantics and injectable storage
+// faults (power failures, torn writes, bit flips).
+//
+// Frame layout (little-endian):
+//
+//	u32 magic | u32 payloadLen | u32 crc32c(kind ‖ payload) | u8 kind | payload
+//
+// The CRC is Castagnoli (CRC32C), the polynomial storage systems use
+// for end-to-end integrity. A reader that encounters a frame whose
+// magic, length, or checksum does not hold stops and reports the byte
+// offset of the first bad frame: everything before it is a verified
+// prefix of what was written, which is exactly the invariant
+// truncate-at-corruption recovery needs.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+)
+
+// Magic marks the start of every frame ("IWAL").
+const Magic uint32 = 0x4C415749
+
+// HeaderSize is the fixed per-frame overhead: magic, payload length,
+// CRC32C, and the kind byte.
+const HeaderSize = 4 + 4 + 4 + 1
+
+// MaxFrame bounds a single frame's payload (64 MiB): a length field
+// larger than this is corruption, not a huge record, so the reader can
+// reject it before allocating.
+const MaxFrame = 64 << 20
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32C of kind ‖ payload, the value stored in
+// the frame header.
+func Checksum(kind byte, payload []byte) uint32 {
+	crc := crc32.Update(0, crcTable, []byte{kind})
+	return crc32.Update(crc, crcTable, payload)
+}
+
+// AppendFrame appends one encoded frame to buf and returns the extended
+// slice.
+func AppendFrame(buf []byte, kind byte, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, Magic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, Checksum(kind, payload))
+	buf = append(buf, kind)
+	return append(buf, payload...)
+}
+
+// ErrCorrupt reports a frame that failed validation. It is the sentinel
+// recovery code branches on; the wrapped message carries the offset and
+// cause.
+var ErrCorrupt = errors.New("wal: corrupt frame")
+
+// Reader iterates over the frames of a WAL byte image. It is a
+// prefix-validating scanner: Next returns frames until the clean end of
+// the log (ok=false, Err()==nil) or the first invalid frame (ok=false,
+// Err() wraps ErrCorrupt and Offset() locates it).
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over buf. The Reader aliases buf; returned
+// payloads alias it too and must not be modified.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf}
+}
+
+// Offset reports the byte offset of the next unread frame — after a
+// corruption error, the offset of the first bad frame, i.e. the length
+// of the valid prefix.
+func (r *Reader) Offset() int { return r.off }
+
+// Err returns the corruption error that stopped the scan, or nil at a
+// clean end of log.
+func (r *Reader) Err() error { return r.err }
+
+// Next returns the next frame. ok=false means the scan is over: a clean
+// end (Err()==nil) or corruption (Err()!=nil).
+func (r *Reader) Next() (kind byte, payload []byte, ok bool) {
+	if r.err != nil || r.off >= len(r.buf) {
+		return 0, nil, false
+	}
+	rest := r.buf[r.off:]
+	if len(rest) < HeaderSize {
+		r.err = fmt.Errorf("%w: truncated header at offset %d", ErrCorrupt, r.off)
+		return 0, nil, false
+	}
+	if m := binary.LittleEndian.Uint32(rest); m != Magic {
+		r.err = fmt.Errorf("%w: bad magic %#x at offset %d", ErrCorrupt, m, r.off)
+		return 0, nil, false
+	}
+	n := binary.LittleEndian.Uint32(rest[4:])
+	if n > MaxFrame {
+		r.err = fmt.Errorf("%w: frame length %d exceeds limit at offset %d", ErrCorrupt, n, r.off)
+		return 0, nil, false
+	}
+	if len(rest) < HeaderSize+int(n) {
+		r.err = fmt.Errorf("%w: torn frame at offset %d (%d of %d payload bytes)",
+			ErrCorrupt, r.off, len(rest)-HeaderSize, n)
+		return 0, nil, false
+	}
+	want := binary.LittleEndian.Uint32(rest[8:])
+	kind = rest[12]
+	payload = rest[HeaderSize : HeaderSize+int(n)]
+	if got := Checksum(kind, payload); got != want {
+		r.err = fmt.Errorf("%w: checksum mismatch at offset %d (stored %#x, computed %#x)",
+			ErrCorrupt, r.off, want, got)
+		return 0, nil, false
+	}
+	r.off += HeaderSize + int(n)
+	return kind, payload, true
+}
+
+// HasFrameAfter scans buf from offset for a well-formed frame starting
+// at any later byte (magic resync). Recovery uses it to distinguish
+// tail corruption (nothing valid follows — truncate and continue) from
+// mid-log corruption (valid frames follow the bad one — data in the
+// middle of the committed prefix was destroyed, which truncation cannot
+// mask, so the caller should fail loudly).
+func HasFrameAfter(buf []byte, offset int) bool {
+	for i := offset + 1; i+HeaderSize <= len(buf); i++ {
+		if binary.LittleEndian.Uint32(buf[i:]) != Magic {
+			continue
+		}
+		n := binary.LittleEndian.Uint32(buf[i+4:])
+		if n > MaxFrame || i+HeaderSize+int(n) > len(buf) {
+			continue
+		}
+		if Checksum(buf[i+12], buf[i+HeaderSize:i+HeaderSize+int(n)]) == binary.LittleEndian.Uint32(buf[i+8:]) {
+			return true
+		}
+	}
+	return false
+}
+
+// Device is an in-memory disk with explicit sync semantics: Append
+// buffers bytes, Sync makes everything appended so far survive a power
+// failure. PowerFail models the crash — the unsynced suffix is lost,
+// except for an optional torn prefix of it that reached the platter
+// mid-write. FlipBit models silent media corruption inside the synced
+// region. All methods are safe for concurrent use.
+type Device struct {
+	mu      sync.Mutex
+	buf     []byte
+	synced  int
+	flushes uint64
+	appends uint64
+}
+
+// NewDevice returns an empty device.
+func NewDevice() *Device { return &Device{} }
+
+// Append buffers b at the end of the device. The write is atomic with
+// respect to concurrent appends (frames never interleave) but not
+// durable until Sync.
+func (d *Device) Append(b []byte) {
+	d.mu.Lock()
+	d.buf = append(d.buf, b...)
+	d.appends++
+	d.mu.Unlock()
+}
+
+// Sync makes everything appended so far durable across PowerFail.
+func (d *Device) Sync() {
+	d.mu.Lock()
+	d.synced = len(d.buf)
+	d.flushes++
+	d.mu.Unlock()
+}
+
+// Size reports total buffered bytes; Synced the durable prefix length.
+func (d *Device) Size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.buf)
+}
+
+// Synced reports the durable prefix length.
+func (d *Device) Synced() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.synced
+}
+
+// Stats reports the device's write counters: bytes appended, Append
+// calls, and Sync calls.
+func (d *Device) Stats() (bytes uint64, appends uint64, flushes uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return uint64(len(d.buf)), d.appends, d.flushes
+}
+
+// Bytes returns a copy of the device contents (synced and unsynced).
+func (d *Device) Bytes() []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]byte(nil), d.buf...)
+}
+
+// PowerFail models a whole-machine power loss: the unsynced suffix is
+// dropped, except for the first tornBytes of it — a torn write that
+// reached the medium before power was lost (it will fail checksum
+// validation on recovery). The synced prefix is untouched.
+func (d *Device) PowerFail(tornBytes int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	keep := d.synced + tornBytes
+	if keep > len(d.buf) {
+		keep = len(d.buf)
+	}
+	d.buf = d.buf[:keep]
+	if d.synced > keep {
+		d.synced = keep
+	}
+}
+
+// FlipBit flips one bit at the given byte offset — silent media
+// corruption. Offsets outside the current contents are ignored.
+func (d *Device) FlipBit(offset int, bit uint) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if offset >= 0 && offset < len(d.buf) {
+		d.buf[offset] ^= 1 << (bit % 8)
+	}
+}
+
+// TruncateTo discards everything at and after offset. Recovery calls it
+// after validating the prefix so subsequent appends extend the valid
+// log rather than burying the corrupt bytes.
+func (d *Device) TruncateTo(offset int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if offset < 0 {
+		offset = 0
+	}
+	if offset < len(d.buf) {
+		d.buf = d.buf[:offset]
+	}
+	if d.synced > len(d.buf) {
+		d.synced = len(d.buf)
+	}
+}
