@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench bench-compare chaos fuzz-smoke alloc recovery-smoke scaling-smoke egress-smoke tasklet-smoke
+.PHONY: check build vet fmt test race bench bench-compare chaos fuzz-smoke alloc recovery-smoke scaling-smoke egress-smoke tasklet-smoke rescale-smoke
 
 # check is the full gate: build, vet, formatting, unit tests, the
 # race-detector run over the packages with real concurrency, the
 # short seeded chaos suite, the decoder fuzz smokes, and the recovery,
-# scaling, egress, and tasklet smokes.
-check: build vet fmt test race chaos fuzz-smoke recovery-smoke scaling-smoke egress-smoke tasklet-smoke
+# scaling, egress, tasklet, and rescale smokes.
+check: build vet fmt test race chaos fuzz-smoke recovery-smoke scaling-smoke egress-smoke tasklet-smoke rescale-smoke
 
 build:
 	$(GO) build ./...
@@ -85,6 +85,15 @@ egress-smoke:
 # results/tasklet.md (see EXPERIMENTS.md).
 tasklet-smoke:
 	$(GO) run ./cmd/impeller-bench -exp tasklet-smoke
+
+# rescale-smoke gates elastic rescaling: the oracle-verified chaos
+# cells (live splits/merges with the rescaler killed mid-transition,
+# exactly-once checked at the consumer, both engines), then a scripted
+# mid-run split through the public API via a short -exp rescale run.
+# The recorded step-load run is results/rescale.md (see EXPERIMENTS.md).
+rescale-smoke:
+	$(GO) test -race -run 'TestChaosRescale' ./internal/chaos/ -timeout 300s
+	$(GO) run ./cmd/impeller-bench -exp rescale -duration 2s -scale 0.05
 
 # bench runs the sharedlog micro-benchmarks (no -race; see results/).
 bench:

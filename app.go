@@ -55,13 +55,15 @@ func (c *Cluster) Run(b *Topology) (*App, error) {
 	}
 
 	// One set of ingress writers per source stream. Substream counts
-	// come from the consuming stage's parallelism.
+	// come from the consuming stage's key-group count, which is fixed
+	// for the job's life — rescaling reassigns groups to task slots but
+	// never re-routes data, so ingress routing is epoch-invariant.
 	for stream := range b.sources {
 		partitions := 0
 		for _, st := range q.Stages {
 			for _, in := range st.Inputs {
-				if in == stream && st.Parallelism > partitions {
-					partitions = st.Parallelism
+				if in == stream && st.KeyGroups > partitions {
+					partitions = st.KeyGroups
 				}
 			}
 		}
@@ -154,6 +156,29 @@ func (a *App) NewDeliverySink(stream StreamID, consumer Consumer, opts DeliveryO
 
 // Manager exposes the task manager (failure injection, metrics).
 func (a *App) Manager() *core.Manager { return a.mgr }
+
+// StageNames lists the query's stage names in topology order. Useful
+// with Rescale, whose stage argument is a name like "<query>/<stage>".
+func (a *App) StageNames() []string {
+	names := make([]string, len(a.query.Stages))
+	for i, st := range a.query.Stages {
+		names[i] = st.Name
+	}
+	return names
+}
+
+// Rescale moves a stage to newSlots task slots on the live log without
+// a restart (progress-marker protocol only; newSlots is capped by the
+// stage's MaxParallelism). It returns the committed assignment epoch.
+func (a *App) Rescale(ctx context.Context, stage string, newSlots int) (uint64, error) {
+	return a.mgr.Rescale(ctx, stage, newSlots)
+}
+
+// AssignmentEpoch reports a stage's current assignment epoch (1 until
+// the first rescale commits).
+func (a *App) AssignmentEpoch(stage string) uint64 {
+	return a.mgr.AssignmentEpoch(stage)
+}
 
 // Metrics aggregates task metrics across the query.
 func (a *App) Metrics() core.QueryMetrics { return a.mgr.Metrics() }

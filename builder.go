@@ -24,6 +24,7 @@ type Topology struct {
 type stageBuild struct {
 	name        string
 	parallelism int // 0 = cluster default
+	keyGroups   int // 0 = parallelism (no rescale headroom)
 	inputs      []StreamID
 	ops         []func() core.Processor
 	stateful    bool
@@ -64,19 +65,42 @@ type Stream struct {
 	// src names a materialized stream when stage is nil.
 	src StreamID
 	// stage/port reference a live chain position.
-	stage       *stageBuild
-	port        int
-	parallelism int // hint for the next stage created from this handle
-	keyed       bool
+	stage          *stageBuild
+	port           int
+	parallelism    int // hint for the next stage created from this handle
+	maxParallelism int // key-group hint for the next stage
+	keyed          bool
 }
 
 // Parallelism sets the task count for the stage this handle's next
-// stateful (or newly created) stage will use.
+// stateful (or newly created) stage will use. n must not be negative;
+// 0 falls back to the cluster default.
 func (s *Stream) Parallelism(n int) *Stream {
+	if n < 0 {
+		s.t.fail("Parallelism(%d): task count cannot be negative (0 means cluster default)", n)
+		return s
+	}
 	if s.stage != nil && !s.stage.sealed {
 		s.stage.parallelism = n
 	}
 	s.parallelism = n
+	return s
+}
+
+// MaxParallelism fixes the stage's key-group count: the upper bound the
+// stage can later be rescaled to without re-routing data (assignments
+// map key groups to task slots; the group count never changes). n must
+// be at least the stage's parallelism; 0 leaves the default (== the
+// stage's parallelism, i.e. no rescale headroom).
+func (s *Stream) MaxParallelism(n int) *Stream {
+	if n < 0 {
+		s.t.fail("MaxParallelism(%d): key-group count cannot be negative", n)
+		return s
+	}
+	if s.stage != nil && !s.stage.sealed {
+		s.stage.keyGroups = n
+	}
+	s.maxParallelism = n
 	return s
 }
 
@@ -103,15 +127,16 @@ func (s *Stream) extend(op func() core.Processor) *Stream {
 		return s
 	}
 	src := s.materialize()
-	st := s.t.newStage([]StreamID{src}, s.parallelism)
+	st := s.t.newStage([]StreamID{src}, s.parallelism, s.maxParallelism)
 	st.ops = append(st.ops, op)
-	return &Stream{t: s.t, stage: st, parallelism: s.parallelism, keyed: s.keyed}
+	return &Stream{t: s.t, stage: st, parallelism: s.parallelism, maxParallelism: s.maxParallelism, keyed: s.keyed}
 }
 
-func (t *Topology) newStage(inputs []StreamID, parallelism int) *stageBuild {
+func (t *Topology) newStage(inputs []StreamID, parallelism, keyGroups int) *stageBuild {
 	st := &stageBuild{
 		name:        fmt.Sprintf("%s/s%d", t.name, len(t.stages)),
 		parallelism: parallelism,
+		keyGroups:   keyGroups,
 		inputs:      inputs,
 		numPorts:    1,
 		portStream:  make([]StreamID, 1),
@@ -170,7 +195,7 @@ func (s *Stream) Branch(preds ...func(Datum) bool) []*Stream {
 	st.sealed = true
 	out := make([]*Stream, len(preds))
 	for i := range out {
-		out[i] = &Stream{t: s.t, stage: st, port: i, parallelism: s.parallelism}
+		out[i] = &Stream{t: s.t, stage: st, port: i, parallelism: s.parallelism, maxParallelism: s.maxParallelism}
 	}
 	return out
 }
@@ -181,13 +206,13 @@ func (s *Stream) Branch(preds ...func(Datum) bool) []*Stream {
 func (s *Stream) GroupBy(fn func(Datum) []byte) *Grouped {
 	h := s.extend(func() core.Processor { return core.SelectKey(fn) })
 	name := h.materialize()
-	return &Grouped{t: s.t, stream: name, parallelism: h.parallelism}
+	return &Grouped{t: s.t, stream: name, parallelism: h.parallelism, maxParallelism: h.maxParallelism}
 }
 
 // GroupByKey repartitions by the existing key.
 func (s *Stream) GroupByKey() *Grouped {
 	name := s.materialize()
-	return &Grouped{t: s.t, stream: name, parallelism: s.parallelism}
+	return &Grouped{t: s.t, stream: name, parallelism: s.parallelism, maxParallelism: s.maxParallelism}
 }
 
 // Broadcast marks this handle's materialized stream for broadcast
@@ -206,8 +231,13 @@ func (s *Stream) Broadcast() *Stream {
 func (s *Stream) To(name StreamID) { s.ToPartitioned(name, 1) }
 
 // ToPartitioned routes to a named output stream with the given
-// partition count.
+// partition count. partitions must not be negative; 0 falls back to the
+// cluster default.
 func (s *Stream) ToPartitioned(name StreamID, partitions int) {
+	if partitions < 0 {
+		s.t.fail("ToPartitioned(%s, %d): partition count cannot be negative (0 means cluster default)", name, partitions)
+		return
+	}
 	if s.stage == nil {
 		s.t.fail("cannot route source stream %s with To; add an operator first", s.src)
 		return
@@ -224,22 +254,39 @@ func (s *Stream) ToPartitioned(name StreamID, partitions int) {
 // Grouped is a repartitioned stream: all records with equal keys flow
 // to the same downstream task, enabling stateful processing.
 type Grouped struct {
-	t           *Topology
-	stream      StreamID
-	parallelism int
+	t              *Topology
+	stream         StreamID
+	parallelism    int
+	maxParallelism int
 }
 
 // Parallelism sets the task count of the stage consuming this grouping.
+// n must not be negative; 0 falls back to the cluster default.
 func (g *Grouped) Parallelism(n int) *Grouped {
+	if n < 0 {
+		g.t.fail("Parallelism(%d): task count cannot be negative (0 means cluster default)", n)
+		return g
+	}
 	g.parallelism = n
 	return g
 }
 
+// MaxParallelism fixes the key-group count of the stage consuming this
+// grouping — the rescale ceiling. See Stream.MaxParallelism.
+func (g *Grouped) MaxParallelism(n int) *Grouped {
+	if n < 0 {
+		g.t.fail("MaxParallelism(%d): key-group count cannot be negative", n)
+		return g
+	}
+	g.maxParallelism = n
+	return g
+}
+
 func (g *Grouped) statefulStage(inputs []StreamID, op func() core.Processor) *Stream {
-	st := g.t.newStage(inputs, g.parallelism)
+	st := g.t.newStage(inputs, g.parallelism, g.maxParallelism)
 	st.ops = append(st.ops, op)
 	st.stateful = true
-	return &Stream{t: g.t, stage: st, parallelism: g.parallelism, keyed: true}
+	return &Stream{t: g.t, stage: st, parallelism: g.parallelism, maxParallelism: g.maxParallelism, keyed: true}
 }
 
 // Apply runs a custom processor as its own stage over this grouping —
@@ -355,15 +402,15 @@ func (g *Grouped) SessionAggregate(name string, gap time.Duration, mode WindowEm
 // Merge unions this grouped stream with another co-grouped stream
 // (paper §3.2 lists union alongside join as a multi-input operator).
 func (g *Grouped) Merge(other *Grouped) *Stream {
-	st := g.t.newStage([]StreamID{g.stream, other.stream}, g.parallelism)
+	st := g.t.newStage([]StreamID{g.stream, other.stream}, g.parallelism, g.maxParallelism)
 	st.ops = append(st.ops, func() core.Processor { return core.Merge() })
-	return &Stream{t: g.t, stage: st, parallelism: g.parallelism, keyed: true}
+	return &Stream{t: g.t, stage: st, parallelism: g.parallelism, maxParallelism: g.maxParallelism, keyed: true}
 }
 
 // Through materializes the grouped stream and returns a consumable
 // handle (rarely needed; mainly for tests).
 func (g *Grouped) Through() *Stream {
-	return &Stream{t: g.t, src: g.stream, keyed: true, parallelism: g.parallelism}
+	return &Stream{t: g.t, src: g.stream, keyed: true, parallelism: g.parallelism, maxParallelism: g.maxParallelism}
 }
 
 // build compiles the topology into a core.Query.
@@ -379,6 +426,12 @@ func (t *Topology) build(defaultParallelism, ingressWriters int) (*core.Query, e
 	for _, st := range t.stages {
 		if st.parallelism <= 0 {
 			st.parallelism = defaultParallelism
+		}
+		if st.keyGroups == 0 {
+			st.keyGroups = st.parallelism
+		}
+		if st.keyGroups < st.parallelism {
+			return nil, fmt.Errorf("impeller: stage %s: MaxParallelism %d below Parallelism %d", st.name, st.keyGroups, st.parallelism)
 		}
 		for i, ps := range st.portStream {
 			if ps == "" {
@@ -411,6 +464,7 @@ func (t *Topology) build(defaultParallelism, ingressWriters int) (*core.Query, e
 		stage := &core.Stage{
 			Name:        st.name,
 			Parallelism: st.parallelism,
+			KeyGroups:   st.keyGroups,
 			Inputs:      st.inputs,
 			Stateful:    st.stateful,
 		}
@@ -423,15 +477,23 @@ func (t *Topology) build(defaultParallelism, ingressWriters int) (*core.Query, e
 			return core.Chain(procs...)
 		}
 		for p, ps := range st.portStream {
+			// A produced stream is partitioned into the consuming stage's
+			// key-group count — the routing unit that stays fixed across
+			// rescales (slot counts change; data tags do not).
 			partitions := 0
 			if cs := consumers[ps]; len(cs) > 0 {
-				partitions = cs[0].parallelism
+				partitions = cs[0].keyGroups
 				for _, c := range cs[1:] {
-					if c.parallelism != partitions {
-						return nil, fmt.Errorf("impeller: stream %s consumed at parallelism %d and %d", ps, partitions, c.parallelism)
+					if c.keyGroups != partitions {
+						return nil, fmt.Errorf("impeller: stream %s consumed with %d and %d key groups", ps, partitions, c.keyGroups)
 					}
 				}
 			} else if sp, ok := t.sinkPartitions[ps]; ok {
+				if sp == 0 {
+					// ToPartitioned(name, 0): cluster default.
+					sp = defaultParallelism
+					t.sinkPartitions[ps] = sp
+				}
 				partitions = sp
 			} else {
 				partitions = 1

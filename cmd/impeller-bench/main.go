@@ -16,6 +16,7 @@
 //	impeller-bench -exp durability -depths 2000,10000,50000  # WAL append overhead + recovery vs log length
 //	impeller-bench -exp tail -tpc 1,2,4,8      # deep-tail latency, goroutine vs tasklet engine
 //	impeller-bench -exp tasklet-smoke          # output equivalence across engines
+//	impeller-bench -exp rescale                # live parallelism doubling under a step load
 //
 // Any experiment accepts -engine tasklet to run on the cooperative
 // tasklet engine, and -cpuprofile/-traceprofile to capture runtime
@@ -42,7 +43,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment: table2 | fig7 | fig8 | fig9 | table4 | crossover | chaos | batching | recovery | scaling | egress | durability | tail | tasklet-smoke")
+		exp      = flag.String("exp", "", "experiment: table2 | fig7 | fig8 | fig9 | table4 | crossover | chaos | batching | recovery | scaling | egress | durability | tail | tasklet-smoke | rescale")
 		rate     = flag.Int("rate", 0, "offered event rate for single-rate experiments (batching, recovery); 0 = per-query default")
 		query    = flag.Int("query", 0, "NEXMark query (fig7/fig8); 0 = all")
 		rates    = flag.String("rates", "", "comma-separated event rates (events/s)")
@@ -117,6 +118,8 @@ func main() {
 		err = runTail(*query, *rate, parseRates(*tpc), *duration, *simulate, *scale, progress())
 	case "tasklet-smoke":
 		err = runTaskletSmoke(*query, progress())
+	case "rescale":
+		err = runRescaleBench(*query, *rate, *duration, *simulate, *scale, engineMode, progress())
 	default:
 		stopProfiles()
 		flag.Usage()
@@ -424,5 +427,24 @@ func runTaskletSmoke(query int, progress *os.File) error {
 		return err
 	}
 	bench.PrintSmoke(os.Stdout, query, rows)
+	return nil
+}
+
+func runRescaleBench(query, rate int, duration time.Duration, simulate bool, scale float64, engine impeller.EngineMode, progress *os.File) error {
+	res, err := bench.RunRescaleBench(bench.RescaleBenchConfig{
+		Query:    query,
+		Rate:     rate,
+		Duration: duration,
+		Simulate: simulate,
+		Scale:    scale,
+		Engine:   engine,
+	}, progress)
+	if err != nil {
+		return err
+	}
+	bench.PrintRescaleBench(os.Stdout, res)
+	if csvOut != nil {
+		return bench.WriteRescaleCSV(csvOut, res)
+	}
 	return nil
 }

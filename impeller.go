@@ -140,6 +140,15 @@ type DeliveryOptions = core.DeliveryOptions
 // DeliveryStats snapshots an egress sink's delivery counters.
 type DeliveryStats = core.DeliveryStats
 
+// Assignment is one epoch's key-group→task-slot map for a stage; see
+// App.Rescale and Stream.MaxParallelism.
+type Assignment = core.Assignment
+
+// Rescaler executes an elastic split/merge of a stage's task slots at a
+// marker boundary. App.Rescale wraps it; construct one directly (with
+// Manager()) to install transition hooks.
+type Rescaler = core.Rescaler
+
 // PermanentError marks a consumer error as non-retryable: after
 // DeliveryOptions.PermanentAttempts such failures the record routes to
 // the dead-letter substream. Unmarked errors are retried forever.

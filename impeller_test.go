@@ -2,6 +2,7 @@ package impeller
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"strings"
@@ -655,4 +656,102 @@ func TestDSLBroadcast(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
+}
+
+// TestDSLLiveRescale doubles a stateful stage's parallelism on the live
+// log through the public API: MaxParallelism reserves key-group
+// headroom at build time, App.Rescale commits the new assignment epoch
+// mid-stream, and counts accumulated before the split must keep growing
+// correctly on the slots that acquired their groups.
+func TestDSLLiveRescale(t *testing.T) {
+	cluster := NewCluster(ClusterConfig{
+		Protocol:             ProgressMarker,
+		CommitInterval:       20 * time.Millisecond,
+		DefaultParallelism:   2,
+		IngressWriters:       1,
+		IngressFlushInterval: 5 * time.Millisecond,
+	})
+	defer cluster.Close()
+
+	b := NewTopology("wc")
+	b.Stream("lines").
+		FlatMap(func(d Datum) []Datum {
+			var out []Datum
+			for _, w := range strings.Fields(string(d.Value)) {
+				out = append(out, Datum{Key: []byte(w), Value: []byte("1"), EventTime: d.EventTime})
+			}
+			return out
+		}).
+		GroupByKey().
+		MaxParallelism(8).
+		Count("counts").
+		To("counts-out")
+
+	app, err := cluster.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	var mu sync.Mutex
+	got := make(map[string]uint64)
+	app.Sink("counts-out", true, func(r Record, _ TaskID, _ time.Time) {
+		mu.Lock()
+		got[string(r.Key)] = binary.LittleEndian.Uint64(r.Value)
+		mu.Unlock()
+	})
+
+	stage := ""
+	for _, s := range app.StageNames() {
+		if strings.HasSuffix(s, "/s1") {
+			stage = s
+		}
+	}
+	if stage == "" {
+		t.Fatalf("no counting stage in %v", app.StageNames())
+	}
+	if e := app.AssignmentEpoch(stage); e != 1 {
+		t.Fatalf("initial assignment epoch = %d, want 1", e)
+	}
+
+	send := func(n int) {
+		for i := 0; i < n; i++ {
+			line := fmt.Sprintf("w%d w%d shared", i%11, i%7)
+			if err := app.Send("lines", []byte(fmt.Sprint(i)), []byte(line), time.Now().UnixMicro()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	waitShared := func(want uint64) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			mu.Lock()
+			n := got["shared"]
+			mu.Unlock()
+			if n == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf(`counts["shared"] = %d, want %d`, n, want)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	send(30)
+	waitShared(30)
+
+	epoch, err := app.Rescale(context.Background(), stage, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 2 {
+		t.Fatalf("rescale committed epoch %d, want 2", epoch)
+	}
+
+	// Counts must continue from their pre-split values on the acquiring
+	// slots — migrated state, not a reset.
+	send(30)
+	waitShared(60)
 }

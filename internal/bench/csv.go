@@ -87,6 +87,7 @@ func WriteFig7CSV(w io.Writer, series []*Fig7Series) error {
 				strconv.FormatUint(p.Log.WALFlushes, 10),
 				strconv.FormatUint(p.Log.RecoveredRecords, 10),
 				strconv.FormatUint(p.Log.WALTruncations, 10),
+				strconv.FormatUint(p.AssignEpochs, 10),
 			})
 		}
 	}
@@ -98,7 +99,8 @@ func WriteFig7CSV(w io.Writer, series []*Fig7Series) error {
 			"cursor_opens", "cursor_batch_reads", "cursor_records",
 			"cursor_prefetch_hits", "cursor_prefetch_misses", "cursor_invalidations",
 			"delivery_attempts", "delivery_redelivered", "delivery_permanent_failures", "delivery_dead_lettered",
-			"wal_bytes", "wal_flushes", "recovered_records", "wal_truncations"},
+			"wal_bytes", "wal_flushes", "recovered_records", "wal_truncations",
+			"assign_epochs"},
 		out)
 }
 
@@ -192,5 +194,36 @@ func WriteDurabilityCSV(w io.Writer, res *DurabilityResult) error {
 			"wal_bytes", "wal_appends", "wal_flushes",
 			"depth", "recovered_records", "recovered_metaops",
 			"recovery_us", "replay_mb_s"},
+		out)
+}
+
+// WriteRescaleCSV exports the step-load rescale experiment: one row per
+// goodput bucket, stamped with the slot count and assignment epoch in
+// force, plus a final summary row (empty bucket columns).
+func WriteRescaleCSV(w io.Writer, r *RescaleBenchResult) error {
+	u64 := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	var out [][]string
+	for _, b := range r.Timeline {
+		out = append(out, []string{
+			"bucket", strconv.FormatInt(b.Start.Milliseconds(), 10),
+			strconv.Itoa(b.Slots), u64(b.Epoch),
+			u64(b.Delivered), fmt.Sprintf("%.1f", b.Goodput(r.Config.Bucket)),
+			"", "", "", "", "", "",
+		})
+	}
+	out = append(out, []string{
+		"summary", strconv.FormatInt(r.StepAt.Milliseconds(), 10),
+		strconv.Itoa(2 * r.Config.Parallelism), u64(r.Epoch),
+		u64(r.Delivered), "",
+		us(r.RescaleWall),
+		fmt.Sprintf("%.1f", r.SteadyBefore), fmt.Sprintf("%.1f", r.SteadyAfter),
+		fmt.Sprintf("%.3f", r.DipDepth),
+		strconv.FormatInt(r.DipDuration.Milliseconds(), 10),
+		strconv.FormatInt(r.Recovery.Milliseconds(), 10),
+	})
+	return writeCSV(w,
+		[]string{"row", "t_ms", "slots", "assign_epoch", "delivered", "goodput_eps",
+			"rescale_wall_us", "steady_before_eps", "steady_after_eps",
+			"dip_depth", "dip_under90_ms", "recovery_ms"},
 		out)
 }

@@ -123,7 +123,11 @@ type RunResult struct {
 	// Delivery snapshots the egress retry layer (attempts, redeliveries,
 	// permanent failures, dead letters); zero unless Config.Egress.
 	Delivery core.DeliveryStats
-	Elapsed  time.Duration
+	// AssignEpochs sums the stages' committed assignment epochs at run
+	// end — each stage starts at epoch 1, so any value above the stage
+	// count means a live rescale happened during the run.
+	AssignEpochs uint64
+	Elapsed      time.Duration
 }
 
 // String renders the point like the paper's figures report it.
@@ -268,6 +272,9 @@ func RunNexmark(cfg RunConfig) (*RunResult, error) {
 	res.Received = sink.Counts().Received
 	res.P50, res.P99, res.Mean = hist.Percentile(50), hist.Percentile(99), hist.Mean()
 	res.P999, res.P9999 = hist.Percentile(99.9), hist.Percentile(99.99)
+	for _, s := range app.StageNames() {
+		res.AssignEpochs += app.AssignmentEpoch(s)
+	}
 	res.Log = cluster.LogStats()
 	return res, nil
 }

@@ -1,0 +1,315 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"impeller"
+	"impeller/internal/nexmark"
+)
+
+// -exp rescale: elastic rescaling under a step load. NEXMark Q1 runs at
+// a steady offered rate on P slots; halfway through, the offered rate
+// steps to 2× and the stage's parallelism is doubled on the live log
+// (App.Rescale — no restart, no replay of history). Goodput is sampled
+// at the output sink in fixed buckets across the whole run, so the
+// transition shows up as a dip in the timeline: its depth and duration
+// are the cost of the epoch switch, and the recovery point is when
+// goodput regains the post-step steady state. The rescale call's own
+// wall time (fence → floors → epoch CAS → respawn) is reported
+// separately from the pipeline's observed disruption.
+
+// RescaleBenchConfig configures the step-load rescale experiment.
+type RescaleBenchConfig struct {
+	// Query is the NEXMark query (default 1 — stateless, so the dip
+	// isolates the assignment switch itself; no state migrates).
+	Query int
+	// Rate is the offered load before the step, in events/s; the step
+	// doubles it (default 4000).
+	Rate int
+	// Parallelism is the initial slot count; the rescale doubles it.
+	// MaxParallelism is the key-group headroom (defaults 2 and 8).
+	Parallelism    int
+	MaxParallelism int
+	// Duration is the whole run; the step lands at Duration/2 (default
+	// 6 s). Bucket is the goodput sampling interval (default 100 ms).
+	Duration time.Duration
+	Bucket   time.Duration
+	// CommitInterval is the progress-marker interval (default 25 ms).
+	CommitInterval time.Duration
+	// Simulate charges calibrated log latencies, scaled by Scale.
+	Simulate bool
+	Scale    float64
+	// Engine selects the task execution engine.
+	Engine impeller.EngineMode
+}
+
+func (c RescaleBenchConfig) withDefaults() RescaleBenchConfig {
+	if c.Query == 0 {
+		c.Query = 1
+	}
+	if c.Rate <= 0 {
+		c.Rate = 4000
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 2
+	}
+	if c.MaxParallelism < 2*c.Parallelism {
+		c.MaxParallelism = 2 * c.Parallelism
+		if c.MaxParallelism < 8 {
+			c.MaxParallelism = 8
+		}
+	}
+	if c.Duration <= 0 {
+		c.Duration = 6 * time.Second
+	}
+	if c.Bucket <= 0 {
+		c.Bucket = 100 * time.Millisecond
+	}
+	if c.CommitInterval <= 0 {
+		c.CommitInterval = 25 * time.Millisecond
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	return c
+}
+
+// RescaleBucket is one goodput sample: records delivered at the sink
+// during [Start, Start+Bucket), with the slot count and assignment
+// epoch in force at the bucket boundary.
+type RescaleBucket struct {
+	Start     time.Duration
+	Delivered uint64
+	Slots     int
+	Epoch     uint64
+}
+
+// Goodput is the bucket's delivered rate in events/s.
+func (b RescaleBucket) Goodput(bucket time.Duration) float64 {
+	return float64(b.Delivered) / bucket.Seconds()
+}
+
+// RescaleBenchResult is the outcome of one step-load rescale run.
+type RescaleBenchResult struct {
+	Config   RescaleBenchConfig
+	Timeline []RescaleBucket
+	// Epoch is the committed assignment epoch after the split;
+	// RescaleWall is the Rescale call's wall time (fence through
+	// respawn); StepAt is when the step landed, relative to run start.
+	Epoch       uint64
+	RescaleWall time.Duration
+	StepAt      time.Duration
+	// SteadyBefore / SteadyAfter are mean goodput (events/s) over the
+	// settled window before the step and the tail of the run.
+	SteadyBefore, SteadyAfter float64
+	// DipMin is the worst bucket goodput in the post-step window;
+	// DipDepth is its shortfall relative to SteadyBefore (0..1);
+	// DipDuration is the total bucket time under 90% of SteadyBefore
+	// after the step; Recovery is the time from the step until goodput
+	// first sustains 90% of SteadyAfter for three buckets.
+	DipMin      float64
+	DipDepth    float64
+	DipDuration time.Duration
+	Recovery    time.Duration
+	// Sent / Delivered are whole-run totals; CondFailed counts fenced
+	// appends rejected by the log during the transition.
+	Sent, Delivered uint64
+	CondFailed      uint64
+}
+
+// RunRescaleBench executes the step-load rescale experiment.
+func RunRescaleBench(cfg RescaleBenchConfig, progress io.Writer) (*RescaleBenchResult, error) {
+	cfg = cfg.withDefaults()
+	cluster := impeller.NewCluster(impeller.ClusterConfig{
+		Protocol:             impeller.ProgressMarker,
+		CommitInterval:       cfg.CommitInterval,
+		DefaultParallelism:   cfg.Parallelism,
+		IngressWriters:       2,
+		IngressFlushInterval: 5 * time.Millisecond,
+		SimulateLatency:      cfg.Simulate,
+		LatencyScale:         cfg.Scale,
+		Seed:                 17,
+		Engine:               cfg.Engine,
+	})
+	defer cluster.Close()
+
+	topo, err := nexmark.BuildOpts(cfg.Query, nexmark.Options{MaxParallelism: cfg.MaxParallelism})
+	if err != nil {
+		return nil, err
+	}
+	app, err := cluster.Run(topo)
+	if err != nil {
+		return nil, err
+	}
+	defer app.Stop()
+	stage := nexmark.RescaleStage(cfg.Query)
+
+	nBuckets := int(cfg.Duration/cfg.Bucket) + 2
+	delivered := make([]atomic.Uint64, nBuckets)
+	start := time.Now()
+	app.Sink(nexmark.OutputStream(cfg.Query), true, func(_ impeller.Record, _ impeller.TaskID, now time.Time) {
+		if i := int(now.Sub(start) / cfg.Bucket); i >= 0 && i < nBuckets {
+			delivered[i].Add(1)
+		}
+	})
+
+	// Load plane: rate R until the step, 2R after, paced in 5 ms ticks.
+	res := &RescaleBenchResult{Config: cfg, StepAt: cfg.Duration / 2}
+	gen := nexmark.NewGenerator(17)
+	seq := 0
+	var sent uint64
+	tick := 5 * time.Millisecond
+	stepped := make(chan struct{})
+	loadDone := make(chan error, 1)
+	go func() {
+		carry := 0.0
+		for {
+			el := time.Since(start)
+			if el >= cfg.Duration {
+				loadDone <- nil
+				return
+			}
+			rate := cfg.Rate
+			select {
+			case <-stepped:
+				rate = 2 * cfg.Rate
+			default:
+			}
+			carry += float64(rate) * tick.Seconds()
+			n := int(carry)
+			carry -= float64(n)
+			for i := 0; i < n; i++ {
+				now := time.Now().UnixMicro()
+				ev := gen.Next(now)
+				seq++
+				if err := app.Send(nexmark.EventStream, []byte(fmt.Sprint(seq)), ev.Payload, now); err != nil {
+					loadDone <- err
+					return
+				}
+				sent++
+			}
+			time.Sleep(tick)
+		}
+	}()
+
+	// Step: double the offered rate and the stage's slot count.
+	time.Sleep(time.Until(start.Add(res.StepAt)))
+	close(stepped)
+	t0 := time.Now()
+	epoch, err := app.Rescale(context.Background(), stage, 2*cfg.Parallelism)
+	if err != nil {
+		return nil, fmt.Errorf("bench: rescale: %w", err)
+	}
+	res.RescaleWall = time.Since(t0)
+	res.Epoch = epoch
+	if progress != nil {
+		fmt.Fprintf(progress, "  step at %v: %d→%d slots, epoch %d, rescale call %v\n",
+			res.StepAt, cfg.Parallelism, 2*cfg.Parallelism, epoch, res.RescaleWall.Round(10*time.Microsecond))
+	}
+	if err := <-loadDone; err != nil {
+		return nil, err
+	}
+	// Drain the tail so the last buckets aren't truncated mid-flight.
+	time.Sleep(400 * time.Millisecond)
+
+	stepBucket := int(res.StepAt / cfg.Bucket)
+	used := int(cfg.Duration / cfg.Bucket)
+	for i := 0; i < used; i++ {
+		b := RescaleBucket{Start: time.Duration(i) * cfg.Bucket, Delivered: delivered[i].Load(),
+			Slots: cfg.Parallelism, Epoch: 1}
+		if i >= stepBucket {
+			b.Slots, b.Epoch = 2*cfg.Parallelism, epoch
+		}
+		res.Timeline = append(res.Timeline, b)
+	}
+	res.Sent = sent
+	for _, b := range res.Timeline {
+		res.Delivered += b.Delivered
+	}
+	res.CondFailed = cluster.LogStats().CondFailed
+
+	// Steady states: before = the settled window [25%, 95%] of the
+	// pre-step half (skips warmup); after = the last quarter of the run.
+	res.SteadyBefore = meanGoodput(res.Timeline, stepBucket/4, stepBucket-1, cfg.Bucket)
+	res.SteadyAfter = meanGoodput(res.Timeline, used*3/4, used, cfg.Bucket)
+
+	// Dip and recovery, scanned from the step bucket.
+	res.DipMin = res.SteadyBefore
+	recovered := -1
+	run := 0
+	for i := stepBucket; i < used; i++ {
+		g := res.Timeline[i].Goodput(cfg.Bucket)
+		if g < res.DipMin {
+			res.DipMin = g
+		}
+		if g < 0.9*res.SteadyBefore {
+			res.DipDuration += cfg.Bucket
+		}
+		if recovered < 0 {
+			if g >= 0.9*res.SteadyAfter {
+				run++
+				if run == 3 {
+					recovered = i - 2
+				}
+			} else {
+				run = 0
+			}
+		}
+	}
+	if res.SteadyBefore > 0 {
+		res.DipDepth = 1 - res.DipMin/res.SteadyBefore
+		if res.DipDepth < 0 {
+			res.DipDepth = 0
+		}
+	}
+	if recovered >= 0 {
+		res.Recovery = time.Duration(recovered)*cfg.Bucket - res.StepAt
+		if res.Recovery < 0 {
+			res.Recovery = 0
+		}
+	} else {
+		res.Recovery = cfg.Duration - res.StepAt // never re-settled
+	}
+	return res, nil
+}
+
+func meanGoodput(tl []RescaleBucket, from, to int, bucket time.Duration) float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(tl) {
+		to = len(tl)
+	}
+	if to <= from {
+		return 0
+	}
+	var sum uint64
+	for _, b := range tl[from:to] {
+		sum += b.Delivered
+	}
+	return float64(sum) / (float64(to-from) * bucket.Seconds())
+}
+
+// PrintRescaleBench renders the run: the summary line the experiment is
+// about, then the goodput timeline with the step marked.
+func PrintRescaleBench(w io.Writer, r *RescaleBenchResult) {
+	c := r.Config
+	fmt.Fprintf(w, "Rescale: NEXMark Q%d step load %d→%d events/s, %d→%d slots at t=%v (epoch %d)\n",
+		c.Query, c.Rate, 2*c.Rate, c.Parallelism, 2*c.Parallelism, r.StepAt, r.Epoch)
+	fmt.Fprintf(w, "  rescale call %v · steady %.0f → %.0f ev/s · dip min %.0f ev/s (depth %.0f%%, %v under 90%%) · re-steady in %v · fenced appends %d\n",
+		r.RescaleWall.Round(10*time.Microsecond), r.SteadyBefore, r.SteadyAfter,
+		r.DipMin, 100*r.DipDepth, r.DipDuration, r.Recovery.Round(10*time.Millisecond), r.CondFailed)
+	fmt.Fprintf(w, "%-8s | %-5s | %-5s | %-9s | %s\n", "t_ms", "slots", "epoch", "goodput", "")
+	for _, b := range r.Timeline {
+		mark := ""
+		if b.Start == r.StepAt {
+			mark = "  <- step: rate and slots double"
+		}
+		fmt.Fprintf(w, "%-8d | %-5d | %-5d | %-9.0f |%s\n",
+			b.Start.Milliseconds(), b.Slots, b.Epoch, b.Goodput(r.Config.Bucket), mark)
+	}
+}

@@ -167,11 +167,18 @@ type alignedSnapshot struct {
 }
 
 func (t *Task) alignedSnapshot() []byte {
+	// Aligned tasks run the identity group layout (one group per slot:
+	// the manager rejects rescale headroom outside the marker protocol),
+	// so flattening lastSeq to its per-producer wire form is lossless.
+	seqs := make(map[TaskID]uint64, len(t.lastSeq))
+	for k, v := range t.lastSeq {
+		seqs[k.producer] = v
+	}
 	s := alignedSnapshot{
 		Epoch:    t.align.epoch,
 		OutSeq:   t.outSeq,
 		Barriers: t.align.arrived,
-		LastSeq:  t.lastSeq,
+		LastSeq:  seqs,
 		State:    t.store.Snapshot(),
 	}
 	return s.encode()

@@ -2,35 +2,51 @@ package core
 
 import (
 	"context"
+	"errors"
 	"sync"
 
 	"impeller/internal/sharedlog"
 )
 
 // Checkpointer builds asynchronous state checkpoints for a marker-mode
-// stateful task (paper §3.5, "Accelerating state recovery"): it
-// replays the task's change log up to and including a progress marker —
-// skipping uncommitted records, since only committed ranges are
-// replayed — into a shadow store, and periodically writes the shadow's
-// snapshot to the checkpoint store. Checkpoints are incremental: each
-// one extends the previous by replaying only new change-log ranges.
+// stateful task (paper §3.5, "Accelerating state recovery"): it replays
+// the task's owned group change streams — committed ranges only, per
+// producer, exactly as recovery's groupReplay resolves them — into a
+// shadow store, and periodically writes the shadow's snapshot to the
+// checkpoint store. Checkpoints are incremental: each one extends the
+// previous by folding only new group-stream records.
+//
+// The group streams, not the task's own change log, are the replay
+// source because key groups migrate between slots at rescale: the state
+// of an acquired group was written by its previous owners. Each
+// checkpoint is stamped with the signature of the group set it was
+// folded under; recovery ignores checkpoints whose signature does not
+// match the task's current ownership, and the manager replaces the
+// checkpointer (fresh shadow, new signature) whenever a rescale changes
+// the task's groups.
 //
 // The checkpointer runs off the task's critical path (the paper
 // checkpoints every 10 s "as a progress marker is written") and
 // survives task restarts: it belongs to the manager, keyed by task id.
 type Checkpointer struct {
-	task TaskID
-	env  *Env
+	task   TaskID
+	stage  string
+	groups []int
+	sig    uint64
+	env    *Env
 
 	shadow *StateStore
 	retry  *retrier
-	// markerAt is the next task-log position to read.
-	markerAt LSN
+	replay *groupReplay
+	cur    *sharedlog.Cursor
 
-	// mu guards covered and epoch, which Covered() reads concurrently.
+	// mu guards covered/hasCovered and epoch, which Covered() reads
+	// concurrently.
 	mu sync.Mutex
-	// covered is the LSN of the last marker folded into the shadow.
-	covered LSN
+	// covered is the group-stream LSN up to which the shadow is
+	// complete (groupReplay.covered).
+	covered    LSN
+	hasCovered bool
 	// epoch counts checkpoints written.
 	epoch uint64
 
@@ -38,10 +54,14 @@ type Checkpointer struct {
 	Metrics *TaskMetrics
 }
 
-// NewCheckpointer builds a checkpointer for task.
-func NewCheckpointer(task TaskID, env *Env) *Checkpointer {
-	return &Checkpointer{
+// NewCheckpointer builds a checkpointer for task, folding the change
+// streams of the given owned key groups of stage.
+func NewCheckpointer(task TaskID, stage string, groups []int, env *Env) *Checkpointer {
+	c := &Checkpointer{
 		task:   task,
+		stage:  stage,
+		groups: groups,
+		sig:    groupsSig(groups),
 		env:    env,
 		shadow: NewStateStore(nil),
 		// The checkpointer runs on the manager, not the task's compute
@@ -49,6 +69,17 @@ func NewCheckpointer(task TaskID, env *Env) *Checkpointer {
 		// still surface as retryable ErrUnavailable reads.
 		retry: newRetrier(env, "", nil),
 	}
+	c.replay = newGroupReplay(func(cb *Batch) {
+		for i := range cb.Records {
+			r := &cb.Records[i]
+			value, deleted, derr := DecodeChange(r.Value)
+			if derr != nil {
+				continue
+			}
+			c.shadow.ApplyChange(string(r.Key), value, deleted)
+		}
+	})
+	return c
 }
 
 // Run checkpoints every SnapshotInterval until ctx is done.
@@ -74,16 +105,17 @@ func (c *Checkpointer) Run(ctx context.Context) {
 	}
 }
 
-// Checkpoint advances the shadow store to the newest progress marker
-// and persists a snapshot covering it. It is exported so tests and the
-// recovery benchmark can force a checkpoint deterministically.
+// Checkpoint advances the shadow store over the group streams and
+// persists a snapshot of everything resolved so far. It is exported so
+// tests and the recovery benchmark can force a checkpoint
+// deterministically.
 func (c *Checkpointer) Checkpoint(ctx context.Context) error {
 	advanced, err := c.advance(ctx)
 	if err != nil {
 		return err
 	}
 	if !advanced {
-		return nil // no new marker since the last checkpoint
+		return nil // nothing newly covered since the last checkpoint
 	}
 	c.mu.Lock()
 	covered := c.covered
@@ -92,6 +124,7 @@ func (c *Checkpointer) Checkpoint(ctx context.Context) error {
 	ck := &markerCheckpoint{
 		Epoch:      epoch,
 		CoveredLSN: covered,
+		GroupsSig:  c.sig,
 		State:      c.shadow.Snapshot(),
 	}
 	if err := c.env.Checkpoints.Put(MarkerCkptKey(c.task), ck.encode()); err != nil {
@@ -105,93 +138,75 @@ func (c *Checkpointer) Checkpoint(ctx context.Context) error {
 	// indicates the presence of a checkpoint").
 	_ = c.env.Log.SetAux(covered, []byte("checkpoint"))
 	if c.env.GC != nil {
-		// The change-log prefix covered by this checkpoint — and every
+		// The group-stream prefix covered by this checkpoint — and every
 		// marker before it — is no longer needed for recovery.
 		c.env.GC.Report("ckpt/"+c.task, covered)
 	}
 	return nil
 }
 
-// advance replays committed change-log ranges of any new markers into
-// the shadow store.
+// advance folds new group-stream records into the shadow store and
+// reports whether the covered frontier moved.
 func (c *Checkpointer) advance(ctx context.Context) (bool, error) {
-	taskTag := TaskLogTag(c.task)
-	changeTag := ChangeLogTag(c.task)
-	advanced := false
+	if c.cur == nil {
+		c.cur = c.env.Log.OpenCursorOpts(c.tags(), 0, sharedlog.CursorOptions{})
+	}
 	for {
 		if err := ctx.Err(); err != nil {
-			return advanced, err
+			return false, err
 		}
-		rec, err := c.readNext(ctx, taskTag, c.markerAt)
-		if err == sharedlog.ErrTrimmed {
-			c.markerAt = c.env.Log.TrimHorizon()
+		var recs []*sharedlog.Record
+		err := c.retry.do(ctx, "ckpt read groups", func() error {
+			var e error
+			recs, e = c.cur.NextBatch(DefaultReadBatch)
+			return e
+		})
+		if errors.Is(err, sharedlog.ErrCursorInvalidated) {
+			// Our position was trimmed away; everything below the horizon
+			// was covered by reported floors, so skipping to it is safe.
+			c.cur.Seek(c.env.Log.TrimHorizon())
 			continue
 		}
-		if err != nil || rec == nil {
-			return advanced, err
-		}
-		c.markerAt = rec.LSN + 1
-		mb, err := DecodeBatch(rec.Payload)
 		if err != nil {
-			return advanced, err
+			return false, err
 		}
-		if mb.Kind != KindMarker {
-			continue
+		if len(recs) == 0 {
+			break // caught up with the tail
 		}
-		m, err := DecodeMarker(mb.Control)
-		if err != nil {
-			return advanced, err
-		}
-		if m.ChangeFirst != NoLSN {
-			pos := m.ChangeFirst
-			for pos <= rec.LSN {
-				crec, err := c.readNext(ctx, changeTag, pos)
-				if err != nil {
-					return advanced, err
-				}
-				if crec == nil || crec.LSN > rec.LSN {
-					break
-				}
-				pos = crec.LSN + 1
-				cb, err := DecodeBatch(crec.Payload)
-				if err != nil {
-					return advanced, err
-				}
-				if cb.Kind != KindChange {
-					continue
-				}
-				for i := range cb.Records {
-					r := &cb.Records[i]
-					value, deleted, derr := DecodeChange(r.Value)
-					if derr != nil {
-						continue
-					}
-					c.shadow.ApplyChange(string(r.Key), value, deleted)
-				}
+		for _, rec := range recs {
+			cb, err := DecodeBatch(rec.Payload)
+			if err != nil {
+				return false, err
+			}
+			if err := c.replay.observe(rec.LSN, cb); err != nil {
+				return false, err
 			}
 		}
-		c.mu.Lock()
-		c.covered = rec.LSN
-		c.mu.Unlock()
-		advanced = true
 	}
+	cov, ok := c.replay.covered()
+	if !ok {
+		return false, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.hasCovered && cov <= c.covered {
+		return false, nil
+	}
+	c.covered = cov
+	c.hasCovered = true
+	return true, nil
 }
 
-// readNext wraps the change/task-log read in the transient-fault retry
-// loop (ErrTrimmed is not retryable and passes through to the caller's
-// horizon handling).
-func (c *Checkpointer) readNext(ctx context.Context, tag sharedlog.Tag, from LSN) (*sharedlog.Record, error) {
-	var rec *sharedlog.Record
-	err := c.retry.do(ctx, "ckpt read "+string(tag), func() error {
-		var e error
-		rec, e = c.env.Log.ReadNext(tag, from)
-		return e
-	})
-	return rec, err
+func (c *Checkpointer) tags() []sharedlog.Tag {
+	tags := make([]sharedlog.Tag, len(c.groups))
+	for i, g := range c.groups {
+		tags[i] = GroupChangeTag(c.stage, g)
+	}
+	return tags
 }
 
-// Covered reports the LSN of the newest marker folded into checkpoints;
-// the garbage collector may trim the change log up to it (paper §3.5:
+// Covered reports the LSN up to which checkpoints cover the group
+// streams; the garbage collector may trim them up to it (paper §3.5:
 // "All the log records before this progress marker can be deleted").
 func (c *Checkpointer) Covered() (LSN, bool) {
 	c.mu.Lock()

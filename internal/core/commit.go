@@ -58,10 +58,14 @@ func (t *Task) commitMarker(ctx context.Context) error {
 	// the change log) is precomputed at construction: t.markerTags.
 	t.assertAppendsDrained("progress marker")
 
+	// Epoch on a marker batch carries the assignment epoch the instance
+	// runs under; recovery reads it off the last marker to bound its
+	// handoff-floor scan (applyHandoffFloors).
 	payload := (&Batch{
 		Kind:     KindMarker,
 		Producer: t.ID,
 		Instance: t.Instance,
+		Epoch:    t.assignEpoch,
 		Control:  m.Encode(),
 	}).Encode()
 

@@ -42,6 +42,16 @@ func (g *GCController) Report(id TaskID, floor LSN) {
 	}
 }
 
+// Reset overwrites a consumer's floor regardless of monotonicity. The
+// rescaler uses it when a task slot acquires key groups: the slot's new
+// replay needs may sit below everything it previously reported, so its
+// floor must drop until it re-establishes a frontier.
+func (g *GCController) Reset(id TaskID, floor LSN) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.floors[id] = floor
+}
+
 // Forget removes a consumer (e.g. a stopped sink) from the floor set.
 func (g *GCController) Forget(id TaskID) {
 	g.mu.Lock()

@@ -32,7 +32,9 @@ func (t *Task) assertAppendsDrained(where string) {
 				buffered += len(t.outBufs[out][sub].records)
 			}
 		}
-		buffered += len(t.changeBuf)
+		for i := range t.changeBufs {
+			buffered += len(t.changeBufs[i])
+		}
 	}
 	if pending == 0 && buffered == 0 {
 		return

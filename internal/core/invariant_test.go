@@ -46,9 +46,9 @@ func TestMarkerInvariantAssertionFires(t *testing.T) {
 	buf := &batchBuf{}
 	buf.add(Record{Seq: 1, Key: []byte("k"), Value: []byte("v")})
 	task2 := &Task{
-		ID:        "inv/1",
-		outBufs:   [][]*batchBuf{{buf}},
-		changeBuf: []Record{{Seq: 2, Key: []byte("s"), Value: []byte("c")}},
+		ID:         "inv/1",
+		outBufs:    [][]*batchBuf{{buf}},
+		changeBufs: [][]Record{{{Seq: 2, Key: []byte("s"), Value: []byte("c")}}},
 	}
 	got = nil
 	task2.assertAppendsDrained("progress marker")

@@ -38,12 +38,24 @@ type Manager struct {
 	mu            sync.Mutex
 	handles       map[TaskID]*taskHandle
 	checkpointers map[TaskID]*Checkpointer
+	ckptCancel    map[TaskID]context.CancelFunc
 	metrics       map[TaskID]*TaskMetrics
 	restarts      map[TaskID]int
 	backoff       map[TaskID]time.Duration
 	backoffUntil  map[TaskID]time.Time
 	spawnedAt     map[TaskID]time.Time
-	started       bool
+	// assign is each stage's current assignment (assign.go): the live
+	// group→slot map tasks are spawned under. Under the marker protocol
+	// it mirrors the log's metadata KV (the source of truth, advanced by
+	// the Rescaler); other protocols pin the static epoch-1 map.
+	assign map[string]*Assignment
+	// rescaling marks stages mid-transition. The monitor must not spawn
+	// replacements for such a stage: a replacement committing markers
+	// after the rescaler read a fenced slot's frontier would advance the
+	// donor past its published handoff floor, and the acquiring slot
+	// would re-deliver records the replacement already committed.
+	rescaling map[string]bool
+	started   bool
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -76,11 +88,24 @@ func NewManager(env *Env, query *Query) (*Manager, error) {
 		RestartBackoffMax: time.Second,
 		handles:           make(map[TaskID]*taskHandle),
 		checkpointers:     make(map[TaskID]*Checkpointer),
+		ckptCancel:        make(map[TaskID]context.CancelFunc),
 		metrics:           make(map[TaskID]*TaskMetrics),
 		restarts:          make(map[TaskID]int),
 		backoff:           make(map[TaskID]time.Duration),
 		backoffUntil:      make(map[TaskID]time.Time),
 		spawnedAt:         make(map[TaskID]time.Time),
+		assign:            make(map[string]*Assignment),
+		rescaling:         make(map[string]bool),
+	}
+	if e.Protocol != ProtoProgressMarker {
+		// Only the marker protocol has per-group change streams and
+		// epoch-stamped markers; the other protocols must run the identity
+		// layout (one key group per slot) and cannot rescale.
+		for _, s := range query.Stages {
+			if s.KeyGroups != 0 && s.KeyGroups != s.Parallelism {
+				return nil, fmt.Errorf("core: stage %s: KeyGroups %d != Parallelism %d requires the progress-marker protocol", s.Name, s.KeyGroups, s.Parallelism)
+			}
+		}
 	}
 	switch e.Protocol {
 	case ProtoKafkaTxn:
@@ -138,7 +163,13 @@ func (m *Manager) Start(ctx context.Context) error {
 	}
 
 	for _, stage := range m.query.Stages {
-		for sub := 0; sub < stage.Parallelism; sub++ {
+		a, err := m.initAssignment(stage)
+		if err != nil {
+			m.cancel()
+			return err
+		}
+		m.assign[stage.Name] = a
+		for sub := 0; sub < a.Slots; sub++ {
 			id := TaskID(fmt.Sprintf("%s/%d", stage.Name, sub))
 			m.metrics[id] = &TaskMetrics{}
 			if m.ckpt != nil {
@@ -151,16 +182,7 @@ func (m *Manager) Start(ctx context.Context) error {
 				}
 			}
 			m.spawnLocked(stage, sub, id)
-			if stage.Stateful && m.env.Protocol == ProtoProgressMarker && m.env.SnapshotInterval > 0 {
-				cp := NewCheckpointer(id, m.env)
-				cp.Metrics = m.metrics[id]
-				m.checkpointers[id] = cp
-				m.wg.Add(1)
-				go func() {
-					defer m.wg.Done()
-					cp.Run(m.ctx)
-				}()
-			}
+			m.startCheckpointerLocked(stage, id, a.GroupsOf(sub))
 		}
 	}
 	if m.ckpt != nil {
@@ -187,10 +209,18 @@ func (m *Manager) spawnLocked(stage *Stage, sub int, id TaskID) {
 	h := &taskHandle{done: make(chan struct{})}
 	h.lastHB.Store(time.Now().UnixNano())
 	m.spawnedAt[id] = time.Now()
+	var groups []int
+	var epoch uint64
+	if a := m.assign[stage.Name]; a != nil {
+		groups = a.GroupsOf(sub)
+		epoch = a.Epoch
+	}
 	task := NewTask(stage, sub, instance, m.env, TaskOptions{
-		Txn:     m.txn,
-		Ckpt:    m.ckpt,
-		Metrics: m.metrics[id],
+		Txn:         m.txn,
+		Ckpt:        m.ckpt,
+		Groups:      groups,
+		AssignEpoch: epoch,
+		Metrics:     m.metrics[id],
 		Heartbeat: func() {
 			if !h.zombie.Load() {
 				h.lastHB.Store(time.Now().UnixNano())
@@ -249,14 +279,25 @@ func (m *Manager) monitor() {
 			if exited && (h.err == nil || errors.Is(h.err, context.Canceled) && m.ctx.Err() != nil) {
 				continue // clean shutdown
 			}
-			if exited && errors.Is(h.err, ErrZombie) {
-				continue // fenced zombie; replacement already running
-			}
+			// An ErrZombie exit is NOT skipped: when the monitor itself
+			// replaced the instance, the old handle is no longer in the
+			// map, so an in-map fenced handle means something fenced the
+			// task without spawning a successor — a rescale interrupted
+			// between fencing and the epoch commit. Restarting it under
+			// the current assignment re-converges the stage.
 			if !exited && !stale {
 				continue
 			}
 			stage, sub := m.locate(id)
 			if stage == nil {
+				continue
+			}
+			if m.rescaling[stage.Name] {
+				// Mid-rescale the stage's fences are intentional; heal
+				// whatever is left on the next tick, after the transition
+				// either commits (applyAssignment replaces the handles)
+				// or aborts (the flag clears and the restart path
+				// re-converges the stage on its current epoch).
 				continue
 			}
 			// Bounded restart backoff: a task that keeps dying right
@@ -303,13 +344,151 @@ func (m *Manager) monitor() {
 
 func (m *Manager) locate(id TaskID) (*Stage, int) {
 	for _, stage := range m.query.Stages {
-		for sub := 0; sub < stage.Parallelism; sub++ {
+		for sub := 0; sub < m.slotsLocked(stage); sub++ {
 			if TaskID(fmt.Sprintf("%s/%d", stage.Name, sub)) == id {
 				return stage, sub
 			}
 		}
 	}
 	return nil, 0
+}
+
+// slotsLocked is the stage's current task-slot count. Caller holds m.mu.
+func (m *Manager) slotsLocked(stage *Stage) int {
+	if a := m.assign[stage.Name]; a != nil {
+		return a.Slots
+	}
+	return stage.Parallelism
+}
+
+// initAssignment resolves a stage's starting assignment. Under the
+// marker protocol it lives in the log's metadata KV: the first manager
+// to attach installs the epoch-1 contiguous map, a re-attach adopts
+// whatever epoch the log already carries (a crashed job resumes at its
+// last committed assignment, not its build-time parallelism). The other
+// protocols pin the static epoch-1 identity map.
+func (m *Manager) initAssignment(stage *Stage) (*Assignment, error) {
+	if m.env.Protocol != ProtoProgressMarker || m.env.Log == nil {
+		return contiguousAssignment(stage.Name, 1, stage.KeyGroups, stage.Parallelism), nil
+	}
+	return InitAssignment(m.env.Log.Meta(), stage.Name, stage.KeyGroups, stage.Parallelism)
+}
+
+// startCheckpointerLocked (re)creates the asynchronous checkpointer for
+// a stateful marker-mode task under its current group set, cancelling
+// any previous one (its shadow store was folded under a different group
+// set and must not survive a rescale). Caller holds m.mu.
+func (m *Manager) startCheckpointerLocked(stage *Stage, id TaskID, groups []int) {
+	if !stage.Stateful || m.env.Protocol != ProtoProgressMarker || m.env.SnapshotInterval <= 0 {
+		return
+	}
+	if cancel, ok := m.ckptCancel[id]; ok {
+		cancel()
+	}
+	cp := NewCheckpointer(id, stage.Name, groups, m.env)
+	cp.Metrics = m.metrics[id]
+	m.checkpointers[id] = cp
+	cctx, cancel := context.WithCancel(m.ctx)
+	m.ckptCancel[id] = cancel
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		cp.Run(cctx)
+	}()
+}
+
+// applyAssignment installs a committed assignment: spawns instances for
+// new and re-grouped slots, retires handles of slots beyond the new
+// slot count, and resets GC floors so trimming cannot outrun the new
+// owners' replay needs. The previous instances of changed slots were
+// already fenced by the rescaler; they keep running detached until
+// their next conditional append fails.
+func (m *Manager) applyAssignment(stage *Stage, next *Assignment) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prev := m.assign[stage.Name]
+	m.assign[stage.Name] = next
+	maxSlots := next.Slots
+	if prev != nil && prev.Slots > maxSlots {
+		maxSlots = prev.Slots
+	}
+	for sub := 0; sub < maxSlots; sub++ {
+		id := TaskID(fmt.Sprintf("%s/%d", stage.Name, sub))
+		if sub >= next.Slots {
+			// Retired slot: the rescaler fenced it and appended its
+			// tombstone marker. Drop the handle so the monitor stops
+			// resurrecting it; the detached instance exits with
+			// ErrZombie at its next commit attempt.
+			delete(m.handles, id)
+			if cancel, ok := m.ckptCancel[id]; ok {
+				cancel()
+				delete(m.ckptCancel, id)
+			}
+			delete(m.checkpointers, id)
+			if m.env.GC != nil {
+				m.env.GC.Forget(id)
+				m.env.GC.Forget("ckpt/" + id)
+			}
+			continue
+		}
+		groups := next.GroupsOf(sub)
+		if prev != nil && sub < prev.Slots && equalInts(prev.GroupsOf(sub), groups) {
+			continue // untouched slot keeps its running instance
+		}
+		if m.metrics[id] == nil {
+			m.metrics[id] = &TaskMetrics{}
+		}
+		if m.env.GC != nil {
+			// The slot may have acquired groups whose change-stream
+			// prefix sits below everything it previously reported; drop
+			// its floors (non-monotonically) until recovery and
+			// checkpointing re-establish them, or the collector could
+			// trim records the new owner still needs to replay.
+			m.env.GC.Reset(id, 0)
+			if stage.Stateful {
+				m.env.GC.Reset("ckpt/"+id, 0)
+			}
+		}
+		m.spawnLocked(stage, sub, id)
+		m.startCheckpointerLocked(stage, id, groups)
+	}
+}
+
+// Assignment returns the stage's current assignment, or nil.
+func (m *Manager) Assignment(stage string) *Assignment {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.assign[stage]
+}
+
+// AssignmentEpoch returns the stage's current assignment epoch (0 if
+// the stage is unknown or the manager has not started).
+func (m *Manager) AssignmentEpoch(stage string) uint64 {
+	if a := m.Assignment(stage); a != nil {
+		return a.Epoch
+	}
+	return 0
+}
+
+func (m *Manager) stageByName(name string) *Stage {
+	for _, s := range m.query.Stages {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Kill simulates a crash of the task's current instance: its goroutine
@@ -370,12 +549,15 @@ func (m *Manager) RestartNow(id TaskID) error {
 	if !ok {
 		return fmt.Errorf("core: unknown task %s", id)
 	}
-	h.cancel()
-	<-h.done
 	stage, sub := m.locate(id)
 	if stage == nil {
 		return fmt.Errorf("core: cannot locate task %s", id)
 	}
+	if m.rescaling[stage.Name] {
+		return fmt.Errorf("core: stage %s is mid-rescale; retry after the transition", stage.Name)
+	}
+	h.cancel()
+	<-h.done
 	m.restarts[id]++
 	m.spawnLocked(stage, sub, id)
 	return nil
@@ -414,11 +596,14 @@ func (m *Manager) Metrics() QueryMetrics {
 	return q
 }
 
-// TaskIDs lists the query's task ids in stage order.
+// TaskIDs lists the query's live task ids in stage order, reflecting
+// the current assignment's slot counts.
 func (m *Manager) TaskIDs() []TaskID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var ids []TaskID
 	for _, stage := range m.query.Stages {
-		for sub := 0; sub < stage.Parallelism; sub++ {
+		for sub := 0; sub < m.slotsLocked(stage); sub++ {
 			ids = append(ids, TaskID(fmt.Sprintf("%s/%d", stage.Name, sub)))
 		}
 	}

@@ -20,6 +20,10 @@ type TaskMetrics struct {
 	// DroppedDuplicate counts records suppressed by per-producer
 	// sequence numbers (paper §3.5, duplicate appends).
 	DroppedDuplicate atomic.Uint64
+	// DroppedBelowFloor counts records suppressed below an acquired key
+	// group's handoff floor: the donor slot committed them before the
+	// group migrated here at a rescale.
+	DroppedBelowFloor atomic.Uint64
 	// Buffered counts records that entered the unknown-state queue.
 	Buffered atomic.Uint64
 	// Markers counts progress markers written.
@@ -71,6 +75,7 @@ type TaskMetrics struct {
 // QueryMetrics aggregates counters across a query's current tasks.
 type QueryMetrics struct {
 	Processed, Emitted, DroppedUncommitted, DroppedDuplicate uint64
+	DroppedBelowFloor                                        uint64
 	Markers, MarkerBytes, MarkerBytesUnshrunk, Appends       uint64
 	AppendBatches, BatchedRecords, BatchStalls               uint64
 	CommitStalls, ChangeRecords, RecoveredChanges            uint64
@@ -90,6 +95,7 @@ func (q *QueryMetrics) Add(m *TaskMetrics) {
 	q.Emitted += m.Emitted.Load()
 	q.DroppedUncommitted += m.DroppedUncommitted.Load()
 	q.DroppedDuplicate += m.DroppedDuplicate.Load()
+	q.DroppedBelowFloor += m.DroppedBelowFloor.Load()
 	q.Markers += m.Markers.Load()
 	q.MarkerBytes += m.MarkerBytes.Load()
 	q.MarkerBytesUnshrunk += m.MarkerBytesUnshrunk.Load()

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"impeller/internal/sharedlog"
 )
@@ -98,43 +100,81 @@ func (t *Task) recover(ctx context.Context) error {
 	}
 }
 
+// lastMarkerAtEpoch reads the newest task-log marker stamped with an
+// assignment epoch <= maxEpoch, skipping any stamped newer. The only
+// way a newer-epoch marker reaches a slot's task log while the reader
+// holds committed epoch maxEpoch is an aborted rescale attempt's
+// retirement tombstone: the attempt fenced the slot and appended the
+// tombstone, then died before its epoch CAS, so the slot lives on under
+// the old assignment. Resuming from the tombstone would be ruinous —
+// its InputEnd is empty and no handoff floor exists under the
+// uncommitted epoch, so the revived slot (or, in the rescaler's floor
+// computation, the group's acquirer) would re-commit records earlier
+// instances already committed.
+func lastMarkerAtEpoch(readPrev func(LSN) (*sharedlog.Record, error), maxEpoch uint64) (*sharedlog.Record, *Batch, error) {
+	from := sharedlog.MaxLSN
+	for {
+		rec, err := readPrev(from)
+		if err != nil || rec == nil {
+			return nil, nil, err
+		}
+		b, err := DecodeBatch(rec.Payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		if b.Epoch <= maxEpoch {
+			return rec, b, nil
+		}
+		if rec.LSN == 0 {
+			return nil, nil, nil
+		}
+		from = rec.LSN - 1
+	}
+}
+
 // recoverMarker implements Impeller recovery: find the most recent
 // progress marker by reading the tail of the task-log substream, resume
 // input just past its InputEnd, restore the sequence counter, and for
 // stateful tasks restore state from the latest checkpoint plus a replay
 // of the remaining committed change-log ranges.
 func (t *Task) recoverMarker(ctx context.Context) error {
-	last, err := t.readPrevRetry(ctx, TaskLogTag(t.ID), sharedlog.MaxLSN)
+	last, b, err := lastMarkerAtEpoch(func(from LSN) (*sharedlog.Record, error) {
+		return t.readPrevRetry(ctx, TaskLogTag(t.ID), from)
+	}, t.assignEpoch)
 	if err != nil {
 		return err
 	}
 	t.probe("marker")
-	if last == nil {
-		return nil // fresh task: cursor 0, empty state
+	var markerEpoch uint64 // assignment epoch stamped on our last marker
+	if last != nil {
+		m, err := DecodeMarker(b.Control)
+		if err != nil {
+			return err
+		}
+		if m.InputEnd != NoLSN {
+			t.cursor = m.InputEnd + 1
+		}
+		t.outSeq = m.SeqEnd
+		t.ckptEpoch = m.CheckpointEpoch
+		markerEpoch = b.Epoch
 	}
-	b, err := DecodeBatch(last.Payload)
-	if err != nil {
-		return err
-	}
-	m, err := DecodeMarker(b.Control)
-	if err != nil {
-		return err
-	}
-	if m.InputEnd != NoLSN {
-		t.cursor = m.InputEnd + 1
-	}
-	t.outSeq = m.SeqEnd
-	t.ckptEpoch = m.CheckpointEpoch
+
+	// Handoff floors: groups acquired since our last marker's assignment
+	// epoch replay and resume from the donor slot's transfer floor, not
+	// from our own frontier (assign.go). No-op when nothing migrated.
+	t.applyHandoffFloors(markerEpoch, t.cursor)
 
 	if !t.stage.Stateful {
 		return nil
 	}
 
-	// State restore: load the asynchronous checkpoint if one exists,
-	// then replay committed change-log ranges marker by marker from the
-	// checkpoint's coverage point to the most recent marker (paper §3.3.4,
-	// §3.5 "Accelerating state recovery").
-	var replayFrom LSN // read markers strictly after this LSN
+	// State restore: load the asynchronous checkpoint if one covers the
+	// current group ownership, then replay the owned groups' change
+	// streams from its coverage point (paper §3.3.4, §3.5 "Accelerating
+	// state recovery"). A checkpoint taken under a different group set is
+	// unusable — it misses acquired groups and includes migrated ones —
+	// so a signature mismatch falls back to a full group-stream replay.
+	var replayFrom LSN
 	if blob, ok := t.env.Checkpoints.Get(MarkerCkptKey(t.ID)); ok {
 		switch ck, err := decodeMarkerCheckpoint(blob); {
 		case err != nil:
@@ -143,7 +183,7 @@ func (t *Task) recoverMarker(ctx context.Context) error {
 			// change log is the durable source of truth, the snapshot
 			// only an accelerator (paper §3.5).
 			t.Metrics.CheckpointDecodeFailures.Add(1)
-		case ck.CoveredLSN <= last.LSN:
+		case ck.GroupsSig == groupsSig(t.groups):
 			if err := t.store.RestoreSnapshot(ck.State); err != nil {
 				// Same fallback: RestoreSnapshot is atomic, so the
 				// store is still empty and a full replay is correct.
@@ -155,128 +195,203 @@ func (t *Task) recoverMarker(ctx context.Context) error {
 		}
 	}
 	t.probe("replay")
-	if err := t.replayChangeLog(ctx, replayFrom, last.LSN); err != nil {
-		return err
+	replay := newGroupReplay(func(cb *Batch) { t.applyChangeBatch(cb) })
+	cur := t.log.OpenCursorOpts(t.groupChangeTags(), replayFrom, t.recoveryCursorOpts())
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		t.heartbeat() // recovery can be long; stay visibly alive
+		recs, err := t.readNextRetry(ctx, "replay-groups", cur, t.readBatch)
+		if err != nil {
+			return err
+		}
+		if len(recs) == 0 {
+			break
+		}
+		for _, rec := range recs {
+			cb, err := DecodeBatch(rec.Payload)
+			if err != nil {
+				return err
+			}
+			if err := replay.observe(rec.LSN, cb); err != nil {
+				return err
+			}
+		}
 	}
+	// Change batches still pending at the tail have no covering marker:
+	// either their producer's in-flight flush outran its failed commit,
+	// or a fenced zombie kept appending — both uncommitted. Drop them.
 	t.restoreSeqFromStore()
 	return nil
 }
 
-// replayChangeLog restores state from the change log: every committed
-// change-log range [ChangeFirst, markerLSN] of the markers in (from,
-// lastMarker] is applied; uncommitted change records (from failed
-// instances) fall outside every range and are skipped (paper §3.3.4).
-//
-// The two substreams involved — the task-log markers and the change
-// log — are independent tags, so they are streamed by two cursors in
-// parallel goroutines (one batched round trip per readBatch records
-// instead of one per record) and joined before anything is applied.
-// The old walk paid one read per marker plus one per change record,
-// strictly sequentially; this is the linear-in-round-trips recovery
-// cost the -exp recovery experiment measures.
-//
-// Collect-then-apply is equivalent to the old interleaved walk: the
-// drain-before-marker invariant orders marker N's append after every
-// change it covers, and after marker N-1, so ranges are disjoint and
-// ascending — applying all committed changes afterwards in LSN order
-// yields the same state.
-func (t *Task) replayChangeLog(ctx context.Context, from, lastMarker LSN) error {
-	type markerRange struct{ first, last LSN }
-	type changeRec struct {
-		lsn LSN
-		b   *Batch
+// groupChangeTags returns the change-stream tags of the owned groups.
+func (t *Task) groupChangeTags() []sharedlog.Tag {
+	tags := make([]sharedlog.Tag, len(t.groups))
+	for i, g := range t.groups {
+		tags[i] = GroupChangeTag(t.stage.Name, g)
 	}
-	var ranges []markerRange
-	var changes []changeRec
+	return tags
+}
 
-	err := runParallel(ctx,
-		func(ctx context.Context) error {
-			cur := t.log.OpenCursorOpts([]sharedlog.Tag{TaskLogTag(t.ID)}, from, t.recoveryCursorOpts())
-			for {
-				if err := ctx.Err(); err != nil {
-					return err
-				}
-				t.heartbeat() // recovery can be long; stay visibly alive
-				recs, err := t.readNextRetry(ctx, "replay-markers", cur, t.readBatch)
-				if err != nil {
-					return err
-				}
-				if len(recs) == 0 {
-					return nil
-				}
-				for _, rec := range recs {
-					if rec.LSN > lastMarker {
-						return nil
-					}
-					mb, err := DecodeBatch(rec.Payload)
-					if err != nil {
-						return err
-					}
-					if mb.Kind != KindMarker {
-						continue
-					}
-					m, err := DecodeMarker(mb.Control)
-					if err != nil {
-						return err
-					}
-					if m.ChangeFirst == NoLSN {
-						continue
-					}
-					ranges = append(ranges, markerRange{first: m.ChangeFirst, last: rec.LSN})
-				}
-			}
-		},
-		func(ctx context.Context) error {
-			cur := t.log.OpenCursorOpts([]sharedlog.Tag{ChangeLogTag(t.ID)}, from, t.recoveryCursorOpts())
-			for {
-				if err := ctx.Err(); err != nil {
-					return err
-				}
-				t.heartbeat()
-				recs, err := t.readNextRetry(ctx, "replay-changes", cur, t.readBatch)
-				if err != nil {
-					return err
-				}
-				if len(recs) == 0 {
-					return nil
-				}
-				for _, rec := range recs {
-					if rec.LSN > lastMarker {
-						return nil
-					}
-					cb, err := DecodeBatch(rec.Payload)
-					if err != nil {
-						return err
-					}
-					if cb.Kind != KindChange {
-						continue
-					}
-					changes = append(changes, changeRec{lsn: rec.LSN, b: cb})
-				}
-			}
-		},
-	)
-	if err != nil {
-		return err
+// applyHandoffFloors resolves each owned group's replay floor across the
+// assignment epochs between markerEpoch (stamped on our last marker, 0
+// if none) and the epoch this instance was spawned at. For a group that
+// migrated to us at epoch e, the newest handoff key in that window holds
+// the donor's committed frontier — resuming there is exact: below it the
+// donor already committed every record, above it nothing of the group
+// was consumed. Groups we held continuously floor at our own frontier,
+// which suppresses re-reads when an acquired group pulls the shared
+// cursor below it. The cursor starts at the minimum floor — possibly
+// above the task's own frontier: a fresh slot spawned by a scale-up
+// starts every group at its donor's floor rather than scanning the log
+// from zero, which is safe because a record below every owned group's
+// floor is never processed, and the marker committing a record at
+// LSN ≥ min always sits above that record.
+func (t *Task) applyHandoffFloors(markerEpoch uint64, base LSN) {
+	if t.env.Protocol != ProtoProgressMarker || len(t.groups) == 0 {
+		return
 	}
+	meta := t.log.Meta()
+	min := sharedlog.MaxLSN
+	for _, g := range t.groups {
+		floor := base
+		for e := t.assignEpoch; e > markerEpoch; e-- {
+			// The ownership check guards against handoff keys left behind
+			// by an aborted rescale attempt at this epoch number: the
+			// committed epoch's owner keys (rewritten in full by the
+			// attempt that won) decide whether the group really moved.
+			if f, ok := handoffFloor(meta, t.stage.Name, e, g); ok && ownerChangedAt(meta, t.stage.Name, e, g) {
+				floor = f
+				break
+			}
+		}
+		t.groupFloor[g] = floor
+		if floor < min {
+			min = floor
+		}
+	}
+	t.cursor = min
+}
 
-	// Apply the changes covered by a committed range, in LSN order.
-	// Ranges are disjoint and ascending (see above), so one forward
-	// pass with a range pointer matches each change record against the
-	// only range that can contain it.
-	ri := 0
-	for _, c := range changes {
-		for ri < len(ranges) && ranges[ri].last < c.lsn {
-			ri++
+// groupReplay restores state from the owned groups' change streams.
+// Unlike the pre-rescaling replay (one producer: the task's own
+// predecessors), a group stream carries every slot that ever owned the
+// group, so committedness is resolved per producer: change batches
+// buffer until a marker from the same producer instance covers them
+// ([ChangeFirst, markerLSN]); observing a record from a newer instance
+// of a producer drops the older instance's buffered changes, since its
+// fenced markers can no longer reach the log (the conditional-append
+// guard orders every surviving marker before the successor's first
+// record).
+type groupReplay struct {
+	apply    func(*Batch)
+	pending  map[TaskID][]pendingChange
+	pendInst map[TaskID]uint64
+	maxInst  map[TaskID]uint64
+	// applied is the highest covering-marker LSN whose range was
+	// applied, or NoLSN if none yet.
+	applied LSN
+}
+
+type pendingChange struct {
+	lsn LSN
+	b   *Batch
+}
+
+func newGroupReplay(apply func(*Batch)) *groupReplay {
+	return &groupReplay{
+		apply:    apply,
+		pending:  make(map[TaskID][]pendingChange),
+		pendInst: make(map[TaskID]uint64),
+		maxInst:  make(map[TaskID]uint64),
+		applied:  NoLSN,
+	}
+}
+
+// observe folds one group-stream record. Records arrive in LSN order.
+func (g *groupReplay) observe(lsn LSN, cb *Batch) error {
+	switch cb.Kind {
+	case KindChange:
+		if cb.Instance < g.maxInst[cb.Producer] || cb.Instance < g.pendInst[cb.Producer] {
+			// Fenced instance: a newer instance's marker or change record
+			// precedes this one in the log, so no covering marker of the
+			// old instance can follow (the fence orders every committed
+			// old-instance marker before the successor's first record). A
+			// zombie flushing change batches after its replacement started
+			// lands here — the batches must not evict the replacement's
+			// buffered committed changes.
+			return nil
 		}
-		if ri == len(ranges) {
-			break
+		if cb.Instance != g.pendInst[cb.Producer] {
+			// A newer instance took over; the old one's buffered changes
+			// are permanently uncovered.
+			g.pending[cb.Producer] = g.pending[cb.Producer][:0]
+			g.pendInst[cb.Producer] = cb.Instance
 		}
-		if c.lsn >= ranges[ri].first && c.lsn <= ranges[ri].last {
-			t.applyChangeBatch(c.b)
+		g.pending[cb.Producer] = append(g.pending[cb.Producer], pendingChange{lsn: lsn, b: cb})
+	case KindMarker:
+		if cb.Instance < g.maxInst[cb.Producer] || cb.Instance < g.pendInst[cb.Producer] {
+			// Stale marker; defensive — the conditional append forbids a
+			// fenced instance from committing one.
+			return nil
+		}
+		g.maxInst[cb.Producer] = cb.Instance
+		m, err := DecodeMarker(cb.Control)
+		if err != nil {
+			return err
+		}
+		if g.pendInst[cb.Producer] != cb.Instance {
+			// Marker from a newer instance than the buffered changes:
+			// drop them (same fencing argument as above).
+			g.pending[cb.Producer] = g.pending[cb.Producer][:0]
+			g.pendInst[cb.Producer] = cb.Instance
+		}
+		if m.ChangeFirst == NoLSN {
+			return nil // no changes this interval (or a retirement tombstone)
+		}
+		pend := g.pending[cb.Producer]
+		keep := pend[:0]
+		for _, p := range pend {
+			switch {
+			case p.lsn < m.ChangeFirst:
+				// Covered by an earlier marker (already applied) or
+				// permanently uncovered; either way not ours to apply.
+			case p.lsn <= lsn:
+				g.apply(p.b)
+			default:
+				keep = append(keep, p) // after this marker: next interval
+			}
+		}
+		g.pending[cb.Producer] = keep
+		if g.applied == NoLSN || lsn > g.applied {
+			g.applied = lsn
 		}
 	}
 	return nil
+}
+
+// covered is the LSN up to which every group-stream record is resolved:
+// a replay (or checkpoint) from covered+1 loses nothing. It trails the
+// newest applied marker while another producer's changes are still
+// awaiting their covering marker. ok is false while nothing is covered.
+func (g *groupReplay) covered() (LSN, bool) {
+	if g.applied == NoLSN {
+		return 0, false
+	}
+	c := g.applied
+	for _, pend := range g.pending {
+		for _, p := range pend {
+			if p.lsn == 0 {
+				return 0, false
+			}
+			if p.lsn-1 < c {
+				c = p.lsn - 1
+			}
+		}
+	}
+	return c, true
 }
 
 func (t *Task) applyChangeBatch(cb *Batch) {
@@ -292,10 +407,23 @@ func (t *Task) applyChangeBatch(cb *Batch) {
 }
 
 // restoreSeqFromStore reloads duplicate-suppression state mirrored into
-// the state store by persistSeq.
+// the state store by persistSeq. Keys are "_seq/<group>/<producer>";
+// entries for groups this slot no longer owns (possible transiently
+// after a rescale restored them via an acquired group's change stream)
+// are loaded too — harmless, they can only suppress records of groups
+// the task does not subscribe to.
 func (t *Task) restoreSeqFromStore() {
 	t.store.Range("_seq/", func(k string, v []byte) bool {
-		t.lastSeq[TaskID(k[len("_seq/"):])] = getUint64(v)
+		rest := k[len("_seq/"):]
+		i := strings.IndexByte(rest, '/')
+		if i <= 0 {
+			return true // unknown layout; ignore defensively
+		}
+		g, err := strconv.Atoi(rest[:i])
+		if err != nil {
+			return true
+		}
+		t.lastSeq[seqKey{group: g, producer: TaskID(rest[i+1:])}] = getUint64(v)
 		return true
 	})
 }
@@ -417,8 +545,10 @@ func (t *Task) recoverAligned(_ context.Context) error {
 	}
 	t.outSeq = s.OutSeq
 	t.epoch = s.Epoch
+	// Aligned tasks run the identity group layout (one group per slot),
+	// so the snapshot's per-producer floors map onto the single group.
 	for p, seq := range s.LastSeq {
-		t.lastSeq[p] = seq
+		t.lastSeq[seqKey{group: t.groups[0], producer: p}] = seq
 	}
 	cursor := sharedlog.MaxLSN
 	for p, lsn := range s.Barriers {
@@ -445,7 +575,7 @@ func (t *Task) recoverUnsafe(ctx context.Context) error {
 	if !t.stage.Stateful {
 		return nil
 	}
-	cur := t.log.OpenCursorOpts([]sharedlog.Tag{ChangeLogTag(t.ID)}, 0, t.recoveryCursorOpts())
+	cur := t.log.OpenCursorOpts(t.groupChangeTags(), 0, t.recoveryCursorOpts())
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -476,31 +606,37 @@ func (t *Task) recoverUnsafe(ctx context.Context) error {
 }
 
 // markerCheckpoint is the blob the asynchronous checkpointer writes for
-// marker-mode tasks: a state snapshot plus the LSN of the progress
-// marker it covers (replay resumes after it).
+// marker-mode tasks: a state snapshot plus the group-stream LSN it
+// covers (replay resumes after it) and the signature of the group set
+// the snapshot was folded under — a restore under different ownership
+// must fall back to full replay (see recoverMarker).
 type markerCheckpoint struct {
 	Epoch      uint64
 	CoveredLSN LSN
+	GroupsSig  uint64
 	State      []byte
 }
 
 func (c *markerCheckpoint) encode() []byte {
-	buf := make([]byte, 0, 16+len(c.State))
+	buf := make([]byte, 0, 24+len(c.State))
 	var tmp [8]byte
 	putUint64(tmp[:], c.Epoch)
 	buf = append(buf, tmp[:]...)
 	putUint64(tmp[:], uint64(c.CoveredLSN))
 	buf = append(buf, tmp[:]...)
+	putUint64(tmp[:], c.GroupsSig)
+	buf = append(buf, tmp[:]...)
 	return append(buf, c.State...)
 }
 
 func decodeMarkerCheckpoint(buf []byte) (*markerCheckpoint, error) {
-	if len(buf) < 16 {
+	if len(buf) < 24 {
 		return nil, ErrBadEncoding
 	}
 	return &markerCheckpoint{
 		Epoch:      getUint64(buf),
 		CoveredLSN: LSN(getUint64(buf[8:])),
-		State:      append([]byte(nil), buf[16:]...),
+		GroupsSig:  getUint64(buf[16:]),
+		State:      append([]byte(nil), buf[24:]...),
 	}, nil
 }

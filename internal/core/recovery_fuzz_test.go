@@ -65,7 +65,10 @@ func TestRecoveryCorruptCheckpointFallsBack(t *testing.T) {
 		blob []byte
 	}{
 		{"truncated", []byte{1, 2, 3}},
-		{"garbage-state", (&markerCheckpoint{Epoch: 1, CoveredLSN: 0,
+		// GroupsSig must match the task's ownership ([0] at parallelism
+		// 1) or the signature gate skips the blob before the corrupt
+		// state is ever decoded.
+		{"garbage-state", (&markerCheckpoint{Epoch: 1, CoveredLSN: 0, GroupsSig: groupsSig([]int{0}),
 			State: bytes.Repeat([]byte{0xee}, 40)}).encode()},
 	}
 	for _, tc := range cases {

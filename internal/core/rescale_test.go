@@ -1,0 +1,346 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"impeller/internal/kvstore"
+	"impeller/internal/sharedlog"
+)
+
+// rescaleQuery is the word-count pipeline with rescale headroom on the
+// stateful stage: 8 key groups over an initial 2 slots. The split
+// stage's output is partitioned into the consumer's key-group count.
+func rescaleQuery(keyGroups, slots int) *Query {
+	q := wordCountQuery(1, slots, 1)
+	q.Stages[0].Outputs[0].Partitions = keyGroups
+	q.Stages[1].KeyGroups = keyGroups
+	return q
+}
+
+func startRescaleCluster(t *testing.T, engine EngineMode) *testCluster {
+	t.Helper()
+	env := &Env{
+		Log:              sharedlog.Open(sharedlog.Config{}),
+		Checkpoints:      kvstore.Open(kvstore.Config{}),
+		Protocol:         ProtoProgressMarker,
+		CommitInterval:   20 * time.Millisecond,
+		SnapshotInterval: 60 * time.Millisecond,
+		Engine:           engine,
+		EngineLoops:      2,
+	}
+	mgr, err := NewManager(env, rescaleQuery(8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := mgr.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c := &testCluster{t: t, env: mgr.Env(), mgr: mgr, cancel: cancel, counts: make(map[string]uint64)}
+	c.ingress = NewIngress("ingress/0", "lines", 1, mgr.Env(), nil)
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		_ = c.ingress.Run(ctx, 5*time.Millisecond)
+	}()
+	c.sink = NewGatedSink("counts", 1, mgr.Env())
+	c.sink.OnRecord = func(r Record, _ TaskID, _ time.Time) {
+		c.mu.Lock()
+		c.counts[string(r.Key)] = bytesToCount(r.Value)
+		c.mu.Unlock()
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		_ = c.sink.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		c.cancel()
+		c.mgr.Stop()
+		c.wg.Wait()
+		c.env.Log.Close()
+	})
+	return c
+}
+
+func bytesToCount(v []byte) uint64 {
+	var n uint64
+	for i := 0; i < 8 && i < len(v); i++ {
+		n |= uint64(v[i]) << (8 * i)
+	}
+	return n
+}
+
+func addCounts(dst, src map[string]uint64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// runLiveRescale drives a split (2→4) and a merge (4→1) of the stateful
+// count stage on the live log, with traffic flowing across both
+// transitions. Counts are cumulative per key, so any lost or duplicated
+// record — a group replayed from the wrong floor, a zombie's output
+// surviving, state dropped in the handoff — shows up as a wrong total.
+func runLiveRescale(t *testing.T, engine EngineMode) {
+	c := startRescaleCluster(t, engine)
+	const stage = "wc/count"
+
+	want := c.send(testLines)
+	c.waitCounts(want, 10*time.Second)
+
+	epoch, err := c.mgr.Rescale(context.Background(), stage, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 2 {
+		t.Fatalf("split committed epoch %d, want 2", epoch)
+	}
+	if got := len(c.mgr.TaskIDs()); got != 1+4 {
+		t.Fatalf("task count after split: %d, want 5", got)
+	}
+	addCounts(want, c.send(testLines))
+	c.waitCounts(want, 15*time.Second)
+
+	epoch, err = c.mgr.Rescale(context.Background(), stage, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 3 {
+		t.Fatalf("merge committed epoch %d, want 3", epoch)
+	}
+	addCounts(want, c.send(testLines))
+	c.waitCounts(want, 15*time.Second)
+
+	if got := c.mgr.AssignmentEpoch(stage); got != 3 {
+		t.Fatalf("assignment epoch %d, want 3", got)
+	}
+	// The transitions fenced old instances; the fences must have been
+	// observed as conditional-append rejections (zombies neutralized by
+	// the log, paper §3.4).
+	if c.env.Log.Stats().CondFailed == 0 {
+		t.Fatal("no conditional append was ever rejected; fencing untested")
+	}
+}
+
+func TestRescaleLiveSplitMerge(t *testing.T) {
+	runLiveRescale(t, EngineGoroutine)
+}
+
+func TestRescaleLiveSplitMergeTasklet(t *testing.T) {
+	runLiveRescale(t, EngineTasklet)
+}
+
+// TestRescaleValidation pins the argument checks.
+func TestRescaleValidation(t *testing.T) {
+	c := startRescaleCluster(t, EngineGoroutine)
+	ctx := context.Background()
+	if _, err := c.mgr.Rescale(ctx, "nope", 2); err == nil {
+		t.Fatal("unknown stage accepted")
+	}
+	if _, err := c.mgr.Rescale(ctx, "wc/count", 0); err == nil {
+		t.Fatal("zero slots accepted")
+	}
+	if _, err := c.mgr.Rescale(ctx, "wc/count", 9); err == nil {
+		t.Fatal("slots beyond key groups accepted")
+	}
+	if epoch, err := c.mgr.Rescale(ctx, "wc/count", 2); err != nil || epoch != 1 {
+		t.Fatalf("no-op rescale: epoch %d err %v", epoch, err)
+	}
+}
+
+// TestGroupReplayZombieChangeAfterSuccessor pins the ordering hazard
+// that makes group-stream committedness subtle: a fenced zombie's change
+// batches are plain appends, so they can land in the group stream after
+// the successor instance's committed change but before the successor's
+// covering marker. The zombie record must be dropped — it can never be
+// covered — and must not evict the successor's buffered committed
+// changes.
+func TestGroupReplayZombieChangeAfterSuccessor(t *testing.T) {
+	prod := TaskID("wc/count/1")
+	change := func(inst uint64, tag string) *Batch {
+		return &Batch{Kind: KindChange, Producer: prod, Instance: inst,
+			Records: []Record{{Key: []byte(tag)}}}
+	}
+	marker := func(inst uint64, changeFirst LSN) *Batch {
+		mk := &ProgressMarker{InputEnd: 5, ChangeFirst: changeFirst, SeqEnd: 1}
+		return &Batch{Kind: KindMarker, Producer: prod, Instance: inst, Control: mk.Encode()}
+	}
+
+	var applied []string
+	g := newGroupReplay(func(b *Batch) { applied = append(applied, string(b.Records[0].Key)) })
+
+	feed := []struct {
+		lsn LSN
+		b   *Batch
+	}{
+		{10, change(1, "i1-a")},
+		{15, marker(1, 10)},     // instance 1 commits i1-a
+		{24, change(3, "i3-a")}, // successor's change, committed by the marker at 39
+		{36, change(1, "zombie")},
+		{37, change(1, "zombie")}, // fenced instance 1 flushing late
+		{39, marker(3, 24)},       // successor's covering marker
+	}
+	for _, f := range feed {
+		if err := g.observe(f.lsn, f.b); err != nil {
+			t.Fatalf("observe lsn %d: %v", f.lsn, err)
+		}
+	}
+	want := []string{"i1-a", "i3-a"}
+	if len(applied) != len(want) || applied[0] != want[0] || applied[1] != want[1] {
+		t.Fatalf("applied %v, want %v", applied, want)
+	}
+	if c, ok := g.covered(); !ok || c != 39 {
+		t.Fatalf("covered = %d,%v; want 39,true", c, ok)
+	}
+
+	// A stale marker from the fenced instance (impossible on a real log —
+	// the conditional append rejects it — but screened defensively) must
+	// not regress instance tracking or apply anything.
+	if err := g.observe(41, marker(1, 36)); err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 2 {
+		t.Fatalf("stale marker applied changes: %v", applied)
+	}
+}
+
+// TestRescaleAbortedMergeTombstone pins the aborted-transition hazard:
+// a merge attempt that dies after fencing — and tombstoning — its
+// retired slots leaves those tombstones on the log while the epoch CAS
+// never happens, so the slots live on under the old assignment. Both
+// readers of a slot's last marker must skip the orphaned tombstone:
+// the revived slot's recovery (resuming from its empty InputEnd with no
+// handoff floor under the uncommitted epoch re-commits the slot's whole
+// history) and the committed attempt's floor computation (the tombstone
+// would publish floor zero for every migrating group). The stage is
+// stateless, so no migrated _seq state can mask a re-commit: any key
+// delivered twice fails immediately.
+func TestRescaleAbortedMergeTombstone(t *testing.T) {
+	env := &Env{
+		Log:            sharedlog.Open(sharedlog.Config{}),
+		Checkpoints:    kvstore.Open(kvstore.Config{}),
+		Protocol:       ProtoProgressMarker,
+		CommitInterval: 20 * time.Millisecond,
+	}
+	q := &Query{
+		Name: "fw",
+		Stages: []*Stage{{
+			Name:              "fw/pass",
+			Parallelism:       2,
+			KeyGroups:         8,
+			Inputs:            []StreamID{"in"},
+			Outputs:           []OutputSpec{{Stream: "out", Partitions: 1}},
+			NewProcessor:      func() Processor { return Map(func(d Datum) *Datum { return &d }) },
+			UpstreamProducers: []int{1},
+		}},
+	}
+	mgr, err := NewManager(env, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := mgr.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	ingress := NewIngress("ingress/0", "in", 8, mgr.Env(), nil)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = ingress.Run(ctx, 5*time.Millisecond)
+	}()
+	var mu sync.Mutex
+	delivered := make(map[string]int)
+	sink := NewGatedSink("out", 1, mgr.Env())
+	sink.OnRecord = func(r Record, _ TaskID, _ time.Time) {
+		mu.Lock()
+		delivered[string(r.Key)]++
+		mu.Unlock()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = sink.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		mgr.Stop()
+		wg.Wait()
+		env.Log.Close()
+	})
+
+	next := 0
+	send := func(n int) {
+		for i := 0; i < n; i++ {
+			key := []byte(fmt.Sprintf("k%d", next))
+			next++
+			ingress.Send(key, []byte("v"), time.Now().UnixMicro())
+		}
+	}
+	waitOnce := func(total int) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			mu.Lock()
+			n := len(delivered)
+			for k, c := range delivered {
+				if c != 1 {
+					mu.Unlock()
+					t.Fatalf("key %s delivered %d times", k, c)
+				}
+			}
+			mu.Unlock()
+			if n == total {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("delivered %d of %d keys", n, total)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	send(40)
+	waitOnce(40)
+
+	// Doomed merge: fences both slots and tombstones the retired one,
+	// then dies before the epoch CAS.
+	abort := errors.New("die mid-transition")
+	doomed := &Rescaler{M: mgr, Hook: func(p string) error {
+		if p == "fenced" {
+			return abort
+		}
+		return nil
+	}}
+	if _, err := doomed.Rescale(ctx, "fw/pass", 1); !errors.Is(err, abort) {
+		t.Fatalf("doomed attempt returned %v", err)
+	}
+	if e := mgr.AssignmentEpoch("fw/pass"); e != 1 {
+		t.Fatalf("aborted attempt moved the epoch to %d", e)
+	}
+
+	// New traffic forces the fenced zombies onto their next conditional
+	// append; the monitor revives them under the old epoch, and the
+	// revived slots must resume from their real markers, not the
+	// orphaned tombstone.
+	send(40)
+	waitOnce(80)
+
+	// The committed merge's floors must likewise come from the real
+	// markers, not the doomed attempt's tombstone.
+	if epoch, err := mgr.Rescale(ctx, "fw/pass", 1); err != nil || epoch != 2 {
+		t.Fatalf("committed merge: epoch %d, err %v", epoch, err)
+	}
+	send(40)
+	waitOnce(120)
+
+	if env.Log.Stats().CondFailed == 0 {
+		t.Fatal("no conditional append was ever rejected; fencing untested")
+	}
+}

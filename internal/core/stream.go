@@ -32,6 +32,16 @@ func ChangeLogTag(task TaskID) sharedlog.Tag {
 	return sharedlog.Tag("C/" + string(task))
 }
 
+// GroupChangeTag returns the change-log tag for one key group of a
+// stage. Keyed by stage name — not task id — because key groups migrate
+// between slots at rescale: whichever slot owns group g writes g's state
+// changes here, and whichever slot acquires g later replays them. The
+// Kafka-transaction baseline keeps the per-task ChangeLogTag (it has no
+// rescale support and its epoch-gated replay is per-task).
+func GroupChangeTag(stage string, group int) sharedlog.Tag {
+	return sharedlog.Tag(fmt.Sprintf("C/%s/g%d", stage, group))
+}
+
 // TxnStreamTag returns the transaction stream tag for a coordinator in
 // the Kafka-transaction baseline (paper §3.6). Coordinators are sharded;
 // shard selects which coordinator's stream.

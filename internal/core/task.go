@@ -46,35 +46,54 @@ type Task struct {
 	proc  Processor
 	store *StateStore
 
+	// slot is the task-slot index within the stage (the <sub> of the
+	// task id); groups are the key groups the slot owns under the
+	// assignment epoch this instance was spawned at (assign.go). With no
+	// rescale headroom groups == [slot] and everything degenerates to
+	// the one-substream-per-task layout.
+	slot        int
+	groups      []int       // owned key groups, ascending
+	groupIdx    map[int]int // group -> index into groups/changeBufs
+	assignEpoch uint64
+
 	// --- input side (task goroutine only) ---
 	inputTags []sharedlog.Tag
 	tagPort   map[sharedlog.Tag]int
+	tagGroup  map[sharedlog.Tag]int
 	cursor    LSN
 	inCursor  *sharedlog.Cursor // streaming reader over inputTags
 	readBatch int               // records per cursor fetch
 	queue     []queuedBatch
 	tracker   commitTracker
-	lastSeq   map[TaskID]uint64
+	lastSeq   map[seqKey]uint64
+	// groupFloor, set by recovery from the handoff keys, suppresses data
+	// records below an acquired group's transfer floor: the donor slot
+	// already committed them under the previous assignment epoch.
+	groupFloor map[int]LSN
 	// skipBelow suppresses re-reads below a producer's checkpointed
 	// barrier position after an aligned-checkpoint recovery.
 	skipBelow map[TaskID]LSN
 	align     *alignState
 
 	// --- output side ---
-	outBufs   [][]*batchBuf // [port][substream]
-	changeBuf []Record
-	outSeq    uint64
-	epoch     uint64
+	outBufs [][]*batchBuf // [port][substream]
+	// changeBufs holds buffered state changes per owned group (parallel
+	// to groups); curGroup indexes the group whose records are being
+	// processed so mutations land in that group's change stream.
+	changeBufs [][]Record
+	curGroup   int
+	outSeq     uint64
+	epoch      uint64
 
 	// appender is the task's batched append pipeline; outDests and
 	// changeDest are its precomputed destinations — tag sets and
 	// completion callbacks built once at construction, so the per-flush
 	// path allocates neither key strings nor closures.
-	appender   *batcher
-	batchCfg   BatchConfig
-	outDests   [][]appendDest // [port][substream]
-	changeDest appendDest
-	markerTags []sharedlog.Tag
+	appender    *batcher
+	batchCfg    BatchConfig
+	outDests    [][]appendDest // [port][substream]
+	changeDests []appendDest   // per owned group (parallel to groups)
+	markerTags  []sharedlog.Tag
 
 	// progress accounting, updated from batcher callbacks under
 	// progressMu (the callbacks run on the batcher goroutine); the task
@@ -115,7 +134,20 @@ type Task struct {
 type queuedBatch struct {
 	lsn   LSN
 	port  int
+	group int           // key group the record arrived on
+	tag   sharedlog.Tag // arrival tag (data tag of port×group)
 	batch *Batch
+}
+
+// seqKey keys duplicate-suppression state by (key group, producer). The
+// group matters once a slot owns several groups: the task merges its
+// groups' substreams in LSN order, so one producer's seqs interleave
+// across groups and a single per-producer floor would drop live
+// records. Per-group floors are also what migrates at rescale — a
+// group's _seq entries travel in that group's change stream.
+type seqKey struct {
+	group    int
+	producer TaskID
 }
 
 // NewTask builds a task instance. The manager supplies the instance
@@ -124,11 +156,15 @@ func NewTask(stage *Stage, sub int, instance uint64, env *Env, opts TaskOptions)
 	t := &Task{
 		ID:          TaskID(fmt.Sprintf("%s/%d", stage.Name, sub)),
 		Instance:    instance,
+		slot:        sub,
+		groups:      opts.Groups,
+		assignEpoch: opts.AssignEpoch,
 		stage:       stage,
 		env:         env,
 		log:         env.Log,
 		proc:        stage.NewProcessor(),
-		lastSeq:     make(map[TaskID]uint64),
+		lastSeq:     make(map[seqKey]uint64),
+		groupFloor:  make(map[int]LSN),
 		skipBelow:   make(map[TaskID]LSN),
 		outFirst:    make(map[sharedlog.Tag]LSN),
 		changeFirst: NoLSN,
@@ -137,6 +173,23 @@ func NewTask(stage *Stage, sub int, instance uint64, env *Env, opts TaskOptions)
 		ckpt:        opts.Ckpt,
 		heartbeat:   opts.Heartbeat,
 		Metrics:     &TaskMetrics{},
+	}
+	if t.groups == nil {
+		// Direct construction (tests): derive the slot's groups from the
+		// canonical contiguous epoch-1 assignment.
+		kg, slots := stage.KeyGroups, stage.Parallelism
+		if slots <= 0 {
+			slots = 1
+		}
+		if kg < slots {
+			kg = slots
+		}
+		t.groups = contiguousAssignment(stage.Name, 1, kg, slots).GroupsOf(sub)
+		t.assignEpoch = 1
+	}
+	t.groupIdx = make(map[int]int, len(t.groups))
+	for i, g := range t.groups {
+		t.groupIdx[g] = i
 	}
 	if opts.Metrics != nil {
 		t.Metrics = opts.Metrics
@@ -156,12 +209,16 @@ func NewTask(stage *Stage, sub int, instance uint64, env *Env, opts TaskOptions)
 	t.retry = newRetrier(env, t.node, t.Metrics)
 	t.store = NewStateStore(t.onStateChange)
 
-	t.inputTags = make([]sharedlog.Tag, 0, len(stage.Inputs))
-	t.tagPort = make(map[sharedlog.Tag]int, len(stage.Inputs))
+	t.inputTags = make([]sharedlog.Tag, 0, len(stage.Inputs)*len(t.groups))
+	t.tagPort = make(map[sharedlog.Tag]int, len(stage.Inputs)*len(t.groups))
+	t.tagGroup = make(map[sharedlog.Tag]int, len(stage.Inputs)*len(t.groups))
 	for port, in := range stage.Inputs {
-		tag := DataTag(in, sub)
-		t.inputTags = append(t.inputTags, tag)
-		t.tagPort[tag] = port
+		for _, g := range t.groups {
+			tag := DataTag(in, g)
+			t.inputTags = append(t.inputTags, tag)
+			t.tagPort[tag] = port
+			t.tagGroup[tag] = g
+		}
 	}
 
 	t.outBufs = make([][]*batchBuf, len(stage.Outputs))
@@ -182,17 +239,31 @@ func NewTask(stage *Stage, sub int, instance uint64, env *Env, opts TaskOptions)
 			}
 		}
 	}
-	t.changeDest = t.newChangeDest()
+	// Change destinations are per owned key group under the marker and
+	// unsafe protocols (GroupChangeTag: the group's state migrates with
+	// it at rescale); the Kafka-txn baseline keeps its per-task change
+	// log, whose epoch-gated replay is inherently per-task.
+	t.changeBufs = make([][]Record, len(t.groups))
+	t.changeDests = make([]appendDest, len(t.groups))
+	for i, g := range t.groups {
+		if env.Protocol == ProtoKafkaTxn {
+			t.changeDests[i] = t.newChangeDest(ChangeLogTag(t.ID))
+		} else {
+			t.changeDests[i] = t.newChangeDest(GroupChangeTag(stage.Name, g))
+		}
+	}
 
 	// Marker tags — every downstream substream, the task log, and (for
-	// stateful tasks) the change log (paper Figure 6) — never vary
-	// between commits; build them once.
+	// stateful tasks) the owned groups' change logs (paper Figure 6) —
+	// never vary between commits of one instance; build them once.
 	for _, out := range stage.Outputs {
 		t.markerTags = append(t.markerTags, out.Tags()...)
 	}
 	t.markerTags = append(t.markerTags, TaskLogTag(t.ID))
 	if stage.Stateful {
-		t.markerTags = append(t.markerTags, ChangeLogTag(t.ID))
+		for _, g := range t.groups {
+			t.markerTags = append(t.markerTags, GroupChangeTag(stage.Name, g))
+		}
 	}
 
 	t.batchCfg = env.Batch
@@ -233,6 +304,12 @@ type TaskOptions struct {
 	Metrics   *TaskMetrics
 	// Batch, when non-zero, overrides Env.Batch for this task.
 	Batch BatchConfig
+	// Groups are the key groups this slot owns under AssignEpoch (the
+	// manager reads them from the assignment plane). Nil derives the
+	// contiguous epoch-1 assignment from the stage — the pre-rescaling
+	// identity layout when KeyGroups == Parallelism.
+	Groups      []int
+	AssignEpoch uint64
 }
 
 // appendDest is a precomputed append destination: the tag set for one
@@ -267,8 +344,8 @@ func (t *Task) newOutDest(tags []sharedlog.Tag) appendDest {
 	}}
 }
 
-func (t *Task) newChangeDest() appendDest {
-	return appendDest{tags: []sharedlog.Tag{ChangeLogTag(t.ID)}, onDone: func(lsn LSN, err error) {
+func (t *Task) newChangeDest(tag sharedlog.Tag) appendDest {
+	return appendDest{tags: []sharedlog.Tag{tag}, onDone: func(lsn LSN, err error) {
 		if err != nil {
 			return
 		}
@@ -364,8 +441,8 @@ func (t *Task) Store() *StateStore { return t.store }
 // TaskID implements ProcContext.
 func (t *Task) TaskID() TaskID { return t.ID }
 
-// Substream implements ProcContext.
-func (t *Task) Substream() int { return t.tagPort[t.inputTags[0]] }
+// Substream implements ProcContext: the task-slot index.
+func (t *Task) Substream() int { return t.slot }
 
 // Charge implements ProcContext: processors doing bulk internal work in
 // one Process call (a join scanning its buffers, a window firing many
@@ -388,7 +465,7 @@ func (t *Task) onStateChange(key string, value []byte, deleted bool) {
 		return
 	}
 	t.outSeq++
-	t.changeBuf = append(t.changeBuf, Record{
+	t.changeBufs[t.curGroup] = append(t.changeBufs[t.curGroup], Record{
 		Seq:   t.outSeq,
 		Key:   []byte(key),
 		Value: EncodeChange(value, deleted),
@@ -522,7 +599,7 @@ func (t *Task) ingestBatch(recs []*sharedlog.Record) error {
 		if err != nil {
 			return err
 		}
-		port := t.portFor(rec)
+		port, group, tag := t.routeFor(rec)
 
 		if b.Kind.isControl() {
 			if pendingDrain {
@@ -554,14 +631,20 @@ func (t *Task) ingestBatch(recs []*sharedlog.Record) error {
 
 		switch b.Kind {
 		case KindSource, KindData:
+			if fl, ok := t.groupFloor[group]; ok && rec.LSN < fl {
+				// Below the group's handoff floor: the donor slot
+				// committed this record before the group migrated here.
+				t.Metrics.DroppedBelowFloor.Add(uint64(len(b.Records)))
+				continue
+			}
 			if t.align != nil && t.align.blocked(b.Producer) {
 				// Aligned checkpoint in progress: post-barrier records
 				// from producers whose barrier already arrived wait out
 				// the alignment (Flink's channel blocking).
-				t.align.buffer(queuedBatch{lsn: rec.LSN, port: port, batch: b})
+				t.align.buffer(queuedBatch{lsn: rec.LSN, port: port, group: group, tag: tag, batch: b})
 				continue
 			}
-			t.queue = append(t.queue, queuedBatch{lsn: rec.LSN, port: port, batch: b})
+			t.queue = append(t.queue, queuedBatch{lsn: rec.LSN, port: port, group: group, tag: tag, batch: b})
 			t.Metrics.Buffered.Add(uint64(len(b.Records)))
 			pendingDrain = true
 		default:
@@ -584,19 +667,24 @@ func (t *Task) observeControl(b *Batch, lsn LSN) error {
 
 func (t *Task) classify(q queuedBatch) classification {
 	if mt, ok := t.tracker.(*multiTagMarkerTracker); ok {
-		return mt.classifyTagged(t.inputTags[q.port], q.batch, q.lsn)
+		return mt.classifyTagged(q.tag, q.batch, q.lsn)
 	}
 	return t.tracker.classify(q.batch, q.lsn)
 }
 
-// portFor maps a log record to the input port whose tag it carries.
-func (t *Task) portFor(rec *sharedlog.Record) int {
-	for _, tag := range rec.Tags {
-		if p, ok := t.tagPort[tag]; ok {
-			return p
+// routeFor maps a log record to the input port, key group, and tag it
+// arrived on. Group and tag are meaningful for data records only —
+// control records may carry several of our tags.
+func (t *Task) routeFor(rec *sharedlog.Record) (port, group int, tag sharedlog.Tag) {
+	for _, tg := range rec.Tags {
+		if p, ok := t.tagPort[tg]; ok {
+			return p, t.tagGroup[tg], tg
 		}
 	}
-	return 0
+	if len(t.inputTags) > 0 {
+		return 0, t.tagGroup[t.inputTags[0]], t.inputTags[0]
+	}
+	return 0, 0, ""
 }
 
 // drainQueue repeatedly examines the head of the queue: committed
@@ -653,20 +741,24 @@ func (t *Task) processBatch(q queuedBatch) error {
 		t.Metrics.DroppedDuplicate.Add(uint64(len(b.Records)))
 		return nil
 	}
+	// Attribute state mutations (and the _seq mirror below) to the
+	// arrival group's change stream.
+	t.curGroup = t.groupIdx[q.group]
+	sk := seqKey{group: q.group, producer: b.Producer}
 	for i := range b.Records {
 		r := &b.Records[i]
-		if r.Seq <= t.lastSeq[b.Producer] {
+		if r.Seq <= t.lastSeq[sk] {
 			t.Metrics.DroppedDuplicate.Add(1)
 			continue
 		}
-		t.lastSeq[b.Producer] = r.Seq
+		t.lastSeq[sk] = r.Seq
 		d := Datum{Key: r.Key, Value: r.Value, EventTime: r.EventTime}
 		if err := t.invokeProcessor(q.port, d); err != nil {
 			return err
 		}
 		t.Metrics.Processed.Add(1)
 	}
-	t.persistSeq(b.Producer)
+	t.persistSeq(sk)
 	t.activity = true
 	return nil
 }
@@ -684,13 +776,20 @@ func (t *Task) invokeProcessor(port int, d Datum) (err error) {
 // for stateful tasks so it survives recovery with the change log (or
 // the aligned snapshot). Stateless marker-mode tasks keep it in memory
 // only: their gating already excludes cross-instance duplicates.
-func (t *Task) persistSeq(p TaskID) {
+func (t *Task) persistSeq(sk seqKey) {
 	if !t.stage.Stateful && t.env.Protocol != ProtoAlignedCheckpoint {
 		return
 	}
 	var buf [8]byte
-	putUint64(buf[:], t.lastSeq[p])
-	t.store.Put("_seq/"+string(p), buf[:])
+	putUint64(buf[:], t.lastSeq[sk])
+	t.store.Put(seqStoreKey(sk), buf[:])
+}
+
+// seqStoreKey is the state-store key mirroring one (group, producer)
+// duplicate-suppression floor; the group prefix keeps the entry in its
+// group's change stream so it migrates with the group at rescale.
+func seqStoreKey(sk seqKey) string {
+	return fmt.Sprintf("_seq/%d/%s", sk.group, sk.producer)
 }
 
 // emit buffers one output record for the given port, flushing if the
@@ -761,26 +860,30 @@ func (t *Task) flushBuf(out, sub int) {
 	buf.recycle(records)
 }
 
-// flushChanges submits buffered change-log records.
+// flushChanges submits buffered change-log records, one batch per owned
+// group with pending changes.
 func (t *Task) flushChanges() {
-	if len(t.changeBuf) == 0 {
-		return
+	for i := range t.changeBufs {
+		records := t.changeBufs[i]
+		if len(records) == 0 {
+			continue
+		}
+		batch := Batch{
+			Kind:     KindChange,
+			Producer: t.ID,
+			Instance: t.Instance,
+			Epoch:    t.dataEpoch(),
+			Records:  records,
+		}
+		eb := wire.GetBuf()
+		eb.B = batch.AppendTo(eb.B)
+		dest := &t.changeDests[i]
+		t.submitAppend(dest.tags, eb.B, eb, dest.onDone)
+		for j := range records {
+			records[j] = Record{}
+		}
+		t.changeBufs[i] = records[:0]
 	}
-	records := t.changeBuf
-	batch := Batch{
-		Kind:     KindChange,
-		Producer: t.ID,
-		Instance: t.Instance,
-		Epoch:    t.dataEpoch(),
-		Records:  records,
-	}
-	eb := wire.GetBuf()
-	eb.B = batch.AppendTo(eb.B)
-	t.submitAppend(t.changeDest.tags, eb.B, eb, t.changeDest.onDone)
-	for i := range records {
-		records[i] = Record{}
-	}
-	t.changeBuf = records[:0]
 }
 
 // dataEpoch is the commit epoch stamped on data batches: the open

@@ -648,7 +648,7 @@ func (t *Task) ingestEventStep() error {
 		if err != nil {
 			return err
 		}
-		port := t.portFor(rec)
+		port, group, tag := t.routeFor(rec)
 
 		if b.Kind.isControl() {
 			// Data queued ahead of this control record drains first so
@@ -699,11 +699,16 @@ func (t *Task) ingestEventStep() error {
 		tl.ri++
 		switch b.Kind {
 		case KindSource, KindData:
-			if t.align != nil && t.align.blocked(b.Producer) {
-				t.align.buffer(queuedBatch{lsn: rec.LSN, port: port, batch: b})
+			if fl, ok := t.groupFloor[group]; ok && rec.LSN < fl {
+				// Below the group's handoff floor (same as ingestBatch).
+				t.Metrics.DroppedBelowFloor.Add(uint64(len(b.Records)))
 				continue
 			}
-			t.queue = append(t.queue, queuedBatch{lsn: rec.LSN, port: port, batch: b})
+			if t.align != nil && t.align.blocked(b.Producer) {
+				t.align.buffer(queuedBatch{lsn: rec.LSN, port: port, group: group, tag: tag, batch: b})
+				continue
+			}
+			t.queue = append(t.queue, queuedBatch{lsn: rec.LSN, port: port, group: group, tag: tag, batch: b})
 			t.Metrics.Buffered.Add(uint64(len(b.Records)))
 		default:
 			// Foreign control-plane kinds; ignore defensively (same as

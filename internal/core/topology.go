@@ -15,7 +15,8 @@ type OutputSpec struct {
 	// Stream is the output stream name.
 	Stream StreamID
 	// Partitions is the downstream substream count (the consuming
-	// stage's parallelism).
+	// stage's key-group count; its parallelism when it has no rescale
+	// headroom).
 	Partitions int
 	// Broadcast sends every record to all substreams instead of
 	// hash-partitioning by key (used for small dimension tables).
@@ -41,11 +42,18 @@ func (o OutputSpec) Tags() []Tag {
 type Stage struct {
 	// Name identifies the stage; task ids are "<query>/<stage>/<sub>".
 	Name string
-	// Parallelism is the task count; it is also the substream count of
-	// each input stream.
+	// Parallelism is the initial task count. Under the progress-marker
+	// protocol it can change at runtime via Manager.Rescale; Parallelism
+	// then only seeds the epoch-1 assignment.
 	Parallelism int
+	// KeyGroups is the stage's fixed key-group count: the substream
+	// count of each input stream and the unit of state migration at
+	// rescale. Parallelism can be raised at runtime up to KeyGroups but
+	// never beyond it. 0 defaults to Parallelism (no rescale headroom,
+	// the identity group→task map).
+	KeyGroups int
 	// Inputs are the stream names feeding this stage. Input i arrives
-	// at processor port i. All inputs must have Parallelism substreams.
+	// at processor port i. All inputs must have KeyGroups substreams.
 	Inputs []StreamID
 	// Outputs are the stage's output streams, one per processor port.
 	Outputs []OutputSpec
@@ -67,6 +75,12 @@ func (s *Stage) validate() error {
 	}
 	if s.Parallelism <= 0 {
 		return fmt.Errorf("core: stage %s: non-positive parallelism", s.Name)
+	}
+	if s.KeyGroups == 0 {
+		s.KeyGroups = s.Parallelism
+	}
+	if s.KeyGroups < s.Parallelism {
+		return fmt.Errorf("core: stage %s: %d key groups < parallelism %d", s.Name, s.KeyGroups, s.Parallelism)
 	}
 	if len(s.Inputs) == 0 {
 		return fmt.Errorf("core: stage %s: no inputs", s.Name)

@@ -65,6 +65,23 @@ type Options struct {
 	// update (Kafka Streams' default, used by the latency benchmarks)
 	// instead of once per finalized window.
 	PerUpdateWindows bool
+	// MaxParallelism sets the key-group count — the rescale ceiling — of
+	// the query's primary stage (RescaleStage). 0 leaves the default: key
+	// groups == parallelism, no rescale headroom. Supported for the
+	// oracle queries (1, 11, 12).
+	MaxParallelism int
+}
+
+// RescaleStage names the stage Options.MaxParallelism applies to — the
+// query's primary (for stateful queries: the aggregating) stage, in the
+// form App.Rescale expects.
+func RescaleStage(q int) string {
+	switch q {
+	case 11, 12:
+		return fmt.Sprintf("q%d/s1", q)
+	default:
+		return fmt.Sprintf("q%d/s0", q)
+	}
 }
 
 // Build constructs query q's topology (1–8). The returned topology
@@ -82,7 +99,7 @@ func BuildOpts(q int, opts Options) (*impeller.Topology, error) {
 	b := impeller.NewTopology(fmt.Sprintf("q%d", q))
 	switch q {
 	case 1:
-		buildQ1(b)
+		buildQ1(b, opts.MaxParallelism)
 	case 2:
 		buildQ2(b)
 	case 3:
@@ -100,9 +117,9 @@ func BuildOpts(q int, opts Options) (*impeller.Topology, error) {
 	case 9:
 		buildQ9(b)
 	case 11:
-		buildQ11(b, mode)
+		buildQ11(b, mode, opts.MaxParallelism)
 	case 12:
-		buildQ12(b, mode)
+		buildQ12(b, mode, opts.MaxParallelism)
 	default:
 		return nil, fmt.Errorf("nexmark: no query %d", q)
 	}
@@ -111,8 +128,9 @@ func BuildOpts(q int, opts Options) (*impeller.Topology, error) {
 
 // Q1 — currency conversion (stream map + filter): every bid's USD price
 // converted to EUR.
-func buildQ1(b *impeller.Topology) {
+func buildQ1(b *impeller.Topology, maxPar int) {
 	b.Stream(EventStream).
+		MaxParallelism(maxPar).
 		Filter(isBid).
 		Map(func(d impeller.Datum) *impeller.Datum {
 			bid, err := DecodeBid(d.Value)

@@ -28,13 +28,14 @@ func buildQ9(b *impeller.Topology) {
 const Q11Gap = 10 * time.Second
 
 // buildQ11 — user sessions: bids per bidder per activity session.
-func buildQ11(b *impeller.Topology, mode impeller.WindowEmit) {
+func buildQ11(b *impeller.Topology, mode impeller.WindowEmit, maxPar int) {
 	b.Stream(EventStream).
 		Filter(isBid).
 		GroupBy(func(d impeller.Datum) []byte {
 			bid, _ := DecodeBid(d.Value)
 			return u64(bid.Bidder)
 		}).
+		MaxParallelism(maxPar).
 		SessionAggregate("q11", Q11Gap, mode,
 			func(_, _, acc []byte) []byte { return u64(getU64(acc) + 1) },
 			func(_, a, b []byte) []byte { return u64(getU64(a) + getU64(b)) }).
@@ -45,13 +46,14 @@ func buildQ11(b *impeller.Topology, mode impeller.WindowEmit) {
 var Q12Window = impeller.WindowSpec{Size: 10 * time.Second, Grace: 2 * time.Second}
 
 // buildQ12 — bids per bidder per 10-second tumbling window.
-func buildQ12(b *impeller.Topology, mode impeller.WindowEmit) {
+func buildQ12(b *impeller.Topology, mode impeller.WindowEmit, maxPar int) {
 	b.Stream(EventStream).
 		Filter(isBid).
 		GroupBy(func(d impeller.Datum) []byte {
 			bid, _ := DecodeBid(d.Value)
 			return u64(bid.Bidder)
 		}).
+		MaxParallelism(maxPar).
 		WindowAggregate("q12", Q12Window, mode,
 			func(_, _, acc []byte) []byte { return u64(getU64(acc) + 1) }).
 		To(OutputStream(12))
